@@ -1,0 +1,42 @@
+"""Ablation: SSTable Bloom filters (DESIGN.md section 4).
+
+With Bloom filters every point read probes only the runs that may hold
+the key; without them (HBase 0.90's default!) a read visits every
+overlapping store file.  On the disk-bound cluster each extra probe is a
+random IO, so read throughput drops.
+"""
+
+from repro.sim.cluster import CLUSTER_D
+from repro.storage.lsm import LSMConfig
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOAD_R
+
+
+def _run(bloom_enabled):
+    # A small memtable and a high compaction threshold pin the layout to
+    # ~6 overlapping SSTables per node, so the ablation isolates the
+    # filter's effect from compaction behaviour.
+    config = LSMConfig(bloom_enabled=bloom_enabled,
+                       memtable_flush_bytes=1_000_000,
+                       min_compaction_threshold=32)
+    return run_benchmark(
+        "cassandra", WORKLOAD_R, 2, cluster_spec=CLUSTER_D,
+        records_per_node=20_000, paper_records_per_node=18_750_000,
+        measured_ops=1200, warmup_ops=200,
+        store_kwargs={"lsm_config": config},
+    )
+
+
+def test_bloom_filter_ablation(benchmark):
+    """Disabling Bloom filters must cost read throughput on Cluster D."""
+    def ablate():
+        return _run(True), _run(False)
+
+    with_bloom, without = benchmark.pedantic(ablate, rounds=1,
+                                             iterations=1)
+    print(f"\nbloom on:  {with_bloom.throughput_ops:,.0f} ops/s "
+          f"(read {with_bloom.read_latency.mean * 1000:.1f} ms)")
+    print(f"bloom off: {without.throughput_ops:,.0f} ops/s "
+          f"(read {without.read_latency.mean * 1000:.1f} ms)")
+    assert without.throughput_ops < with_bloom.throughput_ops
+    assert without.read_latency.mean > with_bloom.read_latency.mean

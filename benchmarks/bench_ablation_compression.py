@@ -1,0 +1,33 @@
+"""Ablation: SSTable compression (the paper's future work, Section 8).
+
+"The disk usage can be reduced by using compression which, however,
+will decrease the throughput and thus is not used in our tests."  We
+enable it and measure both sides of that trade.
+"""
+
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOAD_W
+
+
+def _run(compression_ratio):
+    return run_benchmark(
+        "cassandra", WORKLOAD_W, 2, records_per_node=10_000,
+        measured_ops=2500, warmup_ops=400,
+        store_kwargs={"compression_ratio": compression_ratio},
+    )
+
+
+def test_compression_trades_throughput_for_disk(benchmark):
+    """Compression shrinks the footprint and costs some throughput."""
+    def ablate():
+        return _run(1.0), _run(0.5)
+
+    plain, compressed = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    plain_disk = sum(plain.disk_bytes_per_server)
+    compressed_disk = sum(compressed.disk_bytes_per_server)
+    print(f"\nuncompressed: {plain.throughput_ops:,.0f} ops/s, "
+          f"{plain_disk / 2**20:.1f} MiB on disk")
+    print(f"compressed:   {compressed.throughput_ops:,.0f} ops/s, "
+          f"{compressed_disk / 2**20:.1f} MiB on disk")
+    assert compressed_disk < 0.6 * plain_disk
+    assert compressed.throughput_ops < plain.throughput_ops

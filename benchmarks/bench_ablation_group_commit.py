@@ -1,0 +1,33 @@
+"""Ablation: commit-log group commit (DESIGN.md section 4).
+
+Cassandra's default ``commitlog_sync: periodic`` means writes never wait
+for the disk; the ablated configuration (``batch`` with a batch size of
+one) fsyncs per write.  The paper's sub-millisecond LSM write latencies
+(Figures 5/8/11) depend on group commit; without it the write path
+collapses onto the disk's rotational latency.
+"""
+
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOAD_W
+
+
+def _run(commitlog_sync):
+    return run_benchmark(
+        "cassandra", WORKLOAD_W, 1, records_per_node=8_000,
+        measured_ops=2500, warmup_ops=400,
+        store_kwargs={"commitlog_sync": commitlog_sync},
+    )
+
+
+def test_group_commit_ablation(benchmark):
+    """Per-write fsync must slash Workload W throughput."""
+    def ablate():
+        return _run("periodic"), _run("batch")
+
+    periodic, batch = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    print(f"\ncommitlog_sync=periodic: {periodic.throughput_ops:,.0f} ops/s"
+          f" (write {periodic.write_latency.mean * 1000:.2f} ms)")
+    print(f"commitlog_sync=batch:    {batch.throughput_ops:,.0f} ops/s"
+          f" (write {batch.write_latency.mean * 1000:.2f} ms)")
+    assert batch.throughput_ops < 0.5 * periodic.throughput_ops
+    assert batch.write_latency.mean > 2 * periodic.write_latency.mean

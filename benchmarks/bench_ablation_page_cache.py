@@ -1,0 +1,45 @@
+"""Ablation: the memory-bound vs disk-bound regime (Cluster M vs D).
+
+Section 5.8's regime change comes from one variable: whether the data
+set fits the page cache.  This bench holds the store and workload fixed
+and swaps only the hardware profile.
+"""
+
+from repro.sim.cluster import CLUSTER_D, CLUSTER_M
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOAD_R, WORKLOAD_W
+
+
+def _run(spec, workload, paper_records):
+    return run_benchmark(
+        "cassandra", workload, 4, cluster_spec=spec,
+        records_per_node=20_000, paper_records_per_node=paper_records,
+        measured_ops=1500, warmup_ops=300,
+    )
+
+
+def test_page_cache_regime(benchmark):
+    """Reads crater when the data outgrows memory; writes barely move."""
+    def ablate():
+        return {
+            ("M", "R"): _run(CLUSTER_M, WORKLOAD_R, 10_000_000),
+            ("D", "R"): _run(CLUSTER_D, WORKLOAD_R, 18_750_000),
+            ("M", "W"): _run(CLUSTER_M, WORKLOAD_W, 10_000_000),
+            ("D", "W"): _run(CLUSTER_D, WORKLOAD_W, 18_750_000),
+        }
+
+    results = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    print()
+    for (cluster, workload), result in results.items():
+        print(f"Cluster {cluster} workload {workload}: "
+              f"{result.throughput_ops:>10,.0f} ops/s  "
+              f"read {result.read_latency.mean * 1000:7.1f} ms")
+    read_drop = (results[("M", "R")].throughput_ops
+                 / results[("D", "R")].throughput_ops)
+    write_drop = (results[("M", "W")].throughput_ops
+                  / results[("D", "W")].throughput_ops)
+    assert read_drop > 4 * write_drop
+    # Max-load latency on M is already queue-dominated, so the disk-bound
+    # regime "only" needs to sit clearly above it.
+    assert results[("D", "R")].read_latency.mean > 2 * (
+        results[("M", "R")].read_latency.mean)

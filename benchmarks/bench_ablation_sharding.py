@@ -1,0 +1,60 @@
+"""Ablation: client-side sharding balance (DESIGN.md section 4).
+
+Section 5.1 blames Redis's poor scale-out on the Jedis ring ("the data
+distribution is unbalanced", footnote 7) and notes the RDBMS client
+"did a much better sharding".  This bench quantifies the ring imbalance
+for both of Jedis's hashes and a high-virtual-node ring, and shows that
+the balanced ring removes the hot shard.
+"""
+
+from repro.keyspace import format_key
+from repro.stores.sharding import jdbc_ring, jedis_ring
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOAD_R
+
+
+def test_ring_imbalance(benchmark):
+    """Jedis rings leave a measurable hot shard; the JDBC ring doesn't."""
+    keys = [format_key(i) for i in range(30_000)]
+    names = [f"node{i}" for i in range(12)]
+
+    def measure():
+        return {
+            "jedis/murmur": jedis_ring(names, "murmur").imbalance(keys),
+            "jedis/md5": jedis_ring(names, "md5").imbalance(keys),
+            "jdbc": jdbc_ring(names).imbalance(keys),
+        }
+
+    imbalance = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for ring_name, value in imbalance.items():
+        print(f"{ring_name:13s} hottest shard at {value:.3f}x fair share")
+    assert imbalance["jdbc"] < imbalance["jedis/murmur"]
+    assert imbalance["jdbc"] < imbalance["jedis/md5"]
+    assert imbalance["jdbc"] < 1.05
+    # "with the same result" — both Jedis hashes leave a hot shard
+    assert imbalance["jedis/murmur"] > 1.10
+    assert imbalance["jedis/md5"] > 1.05
+
+
+def test_balanced_ring_evens_shard_load(benchmark):
+    """Swapping the Jedis ring for a balanced one levels the shards."""
+    def ablate():
+        results = {}
+        for algorithm in ("murmur", "balanced"):
+            result = run_benchmark(
+                "redis", WORKLOAD_R, 8, records_per_node=8_000,
+                measured_ops=2500, warmup_ops=400,
+                store_kwargs={"hash_algorithm": algorithm},
+            )
+            results[algorithm] = result
+        return results
+
+    results = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    print()
+    for algorithm, result in results.items():
+        print(f"{algorithm:9s} {result.throughput_ops:,.0f} ops/s, "
+              f"errors={result.store_errors}")
+    # with the same thread budget the balanced ring is at least as fast
+    assert (results["balanced"].throughput_ops
+            >= 0.95 * results["murmur"].throughput_ops)

@@ -1,0 +1,45 @@
+"""Extension: the impact of replication (the paper's future work).
+
+Section 8: "In future work, we will determine the impact of replication
+... on the throughput in our use case."  We run it: Workload W on a
+4-node Cassandra ring at RF=1 (the paper's setting) vs RF=3 with quorum
+and all-replica acknowledgements.
+"""
+
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOAD_W
+
+
+def _run(replication_factor, consistency_level="quorum"):
+    return run_benchmark(
+        "cassandra", WORKLOAD_W, 4, records_per_node=8_000,
+        measured_ops=2500, warmup_ops=400,
+        store_kwargs={
+            "replication_factor": replication_factor,
+            "consistency_level": consistency_level,
+        },
+    )
+
+
+def test_replication_cost(benchmark):
+    """RF=3 roughly triples the write work; quorum hides some latency."""
+    def extend():
+        return {
+            "rf1": _run(1),
+            "rf3/quorum": _run(3, "quorum"),
+            "rf3/all": _run(3, "all"),
+        }
+
+    results = benchmark.pedantic(extend, rounds=1, iterations=1)
+    print()
+    for name, result in results.items():
+        print(f"{name:11s} {result.throughput_ops:>10,.0f} ops/s  "
+              f"write {result.write_latency.mean * 1000:6.2f} ms")
+    rf1 = results["rf1"].throughput_ops
+    quorum = results["rf3/quorum"].throughput_ops
+    # each write costs ~3x the cluster CPU: throughput drops accordingly
+    assert quorum < 0.6 * rf1
+    assert quorum > 0.2 * rf1
+    # waiting for every replica is never faster than a quorum
+    assert (results["rf3/all"].write_latency.mean
+            >= results["rf3/quorum"].write_latency.mean * 0.95)

@@ -1,0 +1,8 @@
+"""Figure 3: throughput for Workload R (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig03_throughput_r(benchmark, cache, profile):
+    """Regenerate fig3 and assert the paper's qualitative claims."""
+    regenerate("fig3", benchmark, cache, profile)

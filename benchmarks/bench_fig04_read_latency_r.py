@@ -1,0 +1,8 @@
+"""Figure 4: read latency for Workload R (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig04_read_latency_r(benchmark, cache, profile):
+    """Regenerate fig4 and assert the paper's qualitative claims."""
+    regenerate("fig4", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 5: write latency for Workload R (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig05_write_latency_r(benchmark, cache, profile):
+    """Regenerate fig5 and assert the paper's qualitative claims."""
+    regenerate("fig5", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 6: throughput for Workload RW (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig06_throughput_rw(benchmark, cache, profile):
+    """Regenerate fig6 and assert the paper's qualitative claims."""
+    regenerate("fig6", benchmark, cache, profile)

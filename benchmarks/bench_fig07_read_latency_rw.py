@@ -1,0 +1,8 @@
+"""Figure 7: read latency for Workload RW (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig07_read_latency_rw(benchmark, cache, profile):
+    """Regenerate fig7 and assert the paper's qualitative claims."""
+    regenerate("fig7", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 8: write latency for Workload RW (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig08_write_latency_rw(benchmark, cache, profile):
+    """Regenerate fig8 and assert the paper's qualitative claims."""
+    regenerate("fig8", benchmark, cache, profile)

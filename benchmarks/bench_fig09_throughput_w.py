@@ -1,0 +1,8 @@
+"""Figure 9: throughput for Workload W (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig09_throughput_w(benchmark, cache, profile):
+    """Regenerate fig9 and assert the paper's qualitative claims."""
+    regenerate("fig9", benchmark, cache, profile)

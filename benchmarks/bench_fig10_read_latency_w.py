@@ -1,0 +1,8 @@
+"""Figure 10: read latency for Workload W (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig10_read_latency_w(benchmark, cache, profile):
+    """Regenerate fig10 and assert the paper's qualitative claims."""
+    regenerate("fig10", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 11: write latency for Workload W (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig11_write_latency_w(benchmark, cache, profile):
+    """Regenerate fig11 and assert the paper's qualitative claims."""
+    regenerate("fig11", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 12: throughput for Workload RS (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig12_throughput_rs(benchmark, cache, profile):
+    """Regenerate fig12 and assert the paper's qualitative claims."""
+    regenerate("fig12", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 13: scan latency for Workload RS (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig13_scan_latency_rs(benchmark, cache, profile):
+    """Regenerate fig13 and assert the paper's qualitative claims."""
+    regenerate("fig13", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 14: throughput for Workload RSW (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig14_throughput_rsw(benchmark, cache, profile):
+    """Regenerate fig14 and assert the paper's qualitative claims."""
+    regenerate("fig14", benchmark, cache, profile)

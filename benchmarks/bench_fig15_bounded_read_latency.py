@@ -1,0 +1,8 @@
+"""Figure 15: read latency under bounded load (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig15_bounded_read_latency(benchmark, cache, profile):
+    """Regenerate fig15 and assert the paper's qualitative claims."""
+    regenerate("fig15", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 16: write latency under bounded load (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig16_bounded_write_latency(benchmark, cache, profile):
+    """Regenerate fig16 and assert the paper's qualitative claims."""
+    regenerate("fig16", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 17: disk usage for 10M records (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig17_disk_usage(benchmark, cache, profile):
+    """Regenerate fig17 and assert the paper's qualitative claims."""
+    regenerate("fig17", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Figure 18: throughput on Cluster D (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig18_cluster_d_throughput(benchmark, cache, profile):
+    """Regenerate fig18 and assert the paper's qualitative claims."""
+    regenerate("fig18", benchmark, cache, profile)

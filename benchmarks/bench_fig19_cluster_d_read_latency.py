@@ -1,0 +1,8 @@
+"""Figure 19: read latency on Cluster D (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig19_cluster_d_read_latency(benchmark, cache, profile):
+    """Regenerate fig19 and assert the paper's qualitative claims."""
+    regenerate("fig19", benchmark, cache, profile)

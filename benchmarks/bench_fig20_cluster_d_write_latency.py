@@ -1,0 +1,8 @@
+"""Figure 20: write latency on Cluster D (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig20_cluster_d_write_latency(benchmark, cache, profile):
+    """Regenerate fig20 and assert the paper's qualitative claims."""
+    regenerate("fig20", benchmark, cache, profile)

@@ -1,0 +1,8 @@
+"""Table 1: workload specifications (see DESIGN.md experiment index)."""
+
+from benchmarks.conftest import regenerate
+
+
+def test_table1_workloads(benchmark, cache, profile):
+    """Regenerate table1 and assert the paper's qualitative claims."""
+    regenerate("table1", benchmark, cache, profile)

@@ -1,0 +1,56 @@
+"""Shared harness for the figure benchmarks.
+
+Every bench regenerates one of the paper's artefacts (Table 1, Figures
+3-20), prints the series the paper plots, and asserts the paper's
+qualitative claims.  Runs are memoised in a session-wide cache, so the
+figures that share a sweep (3/4/5, 6/7/8, 9/10/11, 12/13) pay for it
+once.
+
+Profiles (set ``REPRO_BENCH_PROFILE``):
+
+* ``smoke`` — minutes; 1 and 4 nodes only.
+* ``quick`` (default) — tens of minutes; 1/4/8 nodes.
+* ``paper`` — the full 1-12 node sweep at higher record counts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import default_cache
+from repro.analysis.expectations import check_expectations
+from repro.analysis.export import write_figure
+from repro.analysis.figures import active_profile, build_figure
+from repro.analysis.report import render_table
+
+#: Regenerated series are also written here (pytest captures stdout, so
+#: the tee'd run log alone would not show them).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return default_cache()
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+def regenerate(figure_id, benchmark, cache, profile):
+    """Build a figure once under pytest-benchmark and verify its shape."""
+    data = benchmark.pedantic(
+        build_figure, args=(figure_id, cache, profile),
+        rounds=1, iterations=1,
+    )
+    table = render_table(data)
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure_id}.txt").write_text(
+        f"profile: {profile.name}\n{table}\n")
+    write_figure(data, RESULTS_DIR)
+    violations = check_expectations(data)
+    assert not violations, "\n".join(violations)
+    return data

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one store on one workload.
+
+Runs the paper's Workload R (95% reads / 5% inserts, Table 1) against a
+simulated 4-node Cassandra deployment on the Cluster M hardware profile
+and prints throughput and latencies — the basic building block behind
+every figure in the paper.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.ycsb import WORKLOAD_R, run_benchmark
+
+
+def main():
+    result = run_benchmark(
+        "cassandra",          # one of the six stores (see `apmbench list`)
+        WORKLOAD_R,           # Table 1 mix
+        n_nodes=4,            # storage nodes (the paper sweeps 1-12)
+        records_per_node=20_000,  # scaled-down data set (paper: 10M)
+    )
+
+    print(f"store:       {result.config.store}")
+    print(f"workload:    {result.config.workload.name} "
+          f"({result.config.workload.read_proportion:.0%} reads)")
+    print(f"nodes:       {result.config.n_nodes} "
+          f"(Cluster {result.config.cluster_spec.name})")
+    print(f"connections: {result.connections} closed-loop clients")
+    print()
+    print(f"throughput:  {result.throughput_ops:,.0f} ops/s (simulated)")
+    print(f"read mean:   {result.read_latency.mean * 1000:.2f} ms   "
+          f"p99: {result.read_latency.percentile(99) * 1000:.2f} ms")
+    print(f"write mean:  {result.write_latency.mean * 1000:.2f} ms   "
+          f"p99: {result.write_latency.percentile(99) * 1000:.2f} ms")
+    print()
+    print("Try a different store or workload:")
+    print("  run_benchmark('redis', WORKLOAD_W, n_nodes=8)")
+
+
+if __name__ == "__main__":
+    main()

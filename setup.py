@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The benchmark environment is offline and ships a setuptools without the
+``wheel`` package, so PEP 517 editable installs (which need
+``bdist_wheel``) fail.  This shim lets ``pip install -e .`` and
+``python setup.py develop`` work through the legacy code path; all
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

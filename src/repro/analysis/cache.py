@@ -1,0 +1,82 @@
+"""Benchmark result memoisation.
+
+The paper derives three figures (throughput, read latency, write
+latency) from every workload sweep; re-running the sweep per figure
+would triple the cost.  :class:`ResultCache` keys runs by their full
+configuration and hands back the stored :class:`BenchmarkResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.cluster import ClusterSpec
+from repro.ycsb.runner import BenchmarkConfig, BenchmarkResult, run_benchmark
+from repro.ycsb.workload import Workload
+
+__all__ = ["ResultCache", "default_cache"]
+
+
+class ResultCache:
+    """Memoises ``run_benchmark`` calls by configuration."""
+
+    def __init__(self, runner: Callable[..., BenchmarkResult] = None):
+        self._runner = runner or (
+            lambda config: run_benchmark(config.store, config.workload,
+                                         config.n_nodes, config=config))
+        self._results: dict[tuple, BenchmarkResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(config: BenchmarkConfig) -> tuple:
+        return (
+            config.store,
+            config.workload.name,
+            config.n_nodes,
+            config.cluster_spec.name,
+            config.records_per_node,
+            config.paper_records_per_node,
+            config.measured_ops,
+            config.warmup_ops,
+            config.seed,
+            config.target_throughput,
+            tuple(sorted(config.store_kwargs.items())),
+        )
+
+    def get(self, config: BenchmarkConfig) -> BenchmarkResult:
+        """The result for ``config``, running the benchmark on a miss."""
+        key = self._key(config)
+        if key in self._results:
+            self.hits += 1
+            return self._results[key]
+        self.misses += 1
+        result = self._runner(config)
+        self._results[key] = result
+        return result
+
+    def run(self, store: str, workload: Workload, n_nodes: int,
+            cluster_spec: Optional[ClusterSpec] = None,
+            **overrides) -> BenchmarkResult:
+        """Convenience wrapper building the config inline."""
+        kwargs = dict(overrides)
+        if cluster_spec is not None:
+            kwargs["cluster_spec"] = cluster_spec
+        config = BenchmarkConfig(store=store, workload=workload,
+                                 n_nodes=n_nodes, **kwargs)
+        return self.get(config)
+
+    def clear(self) -> None:
+        """Forget every stored result."""
+        self._results.clear()
+
+
+_GLOBAL_CACHE: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache shared by figures and benchmarks."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ResultCache()
+    return _GLOBAL_CACHE

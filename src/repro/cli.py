@@ -1,0 +1,153 @@
+"""Command-line interface: ``apmbench``.
+
+Subcommands::
+
+    apmbench list                      # stores, workloads, figures
+    apmbench run -s cassandra -w R -n 4
+    apmbench figure fig3 [--chart] [--check]
+    apmbench capacity --monitored 240 --throughput-per-node 15000
+
+Everything runs on the simulated substrate; no external services are
+required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.expectations import check_expectations
+from repro.analysis.figures import FIGURES, active_profile, build_figure
+from repro.analysis.report import render_figure
+from repro.core.capacity import plan_capacity
+from repro.sim.cluster import CLUSTER_D, CLUSTER_M
+from repro.stores.registry import STORE_NAMES
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOADS
+
+__all__ = ["main"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("stores:    " + ", ".join(STORE_NAMES))
+    print("workloads: " + ", ".join(WORKLOADS))
+    print("figures:   " + ", ".join(FIGURES))
+    print(f"profile:   {active_profile().name} "
+          "(set REPRO_BENCH_PROFILE=paper for the full sweep)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload]
+    spec = CLUSTER_D if args.cluster == "D" else CLUSTER_M
+    result = run_benchmark(
+        args.store, workload, args.nodes, cluster_spec=spec,
+        records_per_node=args.records, measured_ops=args.ops,
+        seed=args.seed,
+    )
+    row = result.row()
+    print(f"store={row['store']} workload={row['workload']} "
+          f"nodes={row['nodes']} cluster={row['cluster']}")
+    print(f"throughput: {row['throughput_ops']:,.0f} ops/s "
+          f"({result.connections} connections)")
+    print(f"latency ms: read={row['read_ms']} write={row['write_ms']} "
+          f"scan={row['scan_ms']}")
+    if row["errors"]:
+        print(f"errors:     {row['errors']}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    status = 0
+    figure_ids = list(FIGURES) if args.figure == "all" else [args.figure]
+    for figure_id in figure_ids:
+        data = build_figure(figure_id)
+        print(render_figure(data, chart=args.chart))
+        if args.export:
+            from repro.analysis.export import write_figure
+
+            for path in write_figure(data, args.export):
+                print(f"wrote {path}")
+        if args.check:
+            violations = check_expectations(data)
+            if violations:
+                status = 1
+                for violation in violations:
+                    print(f"EXPECTATION FAILED: {violation}")
+            else:
+                print(f"{figure_id}: all paper expectations hold")
+        print()
+    return status
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    plan = plan_capacity(
+        monitored_nodes=args.monitored,
+        metrics_per_node=args.metrics,
+        interval_s=args.interval,
+        storage_nodes=args.storage_nodes,
+        store_throughput_per_node=args.throughput_per_node,
+    )
+    print(f"required insert rate: {plan.required_inserts_per_s:,.0f} ops/s")
+    print(f"storage tier:         {plan.storage_nodes} nodes x "
+          f"{plan.store_throughput_per_node:,.0f} ops/s")
+    print(f"utilisation:          {plan.utilisation:.0%}")
+    print("sustainable" if plan.sustainable else "NOT sustainable")
+    return 0 if plan.sustainable else 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``apmbench`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="apmbench",
+        description="Reproduction harness for Rabl et al., VLDB 2012",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list stores, workloads, figures")
+
+    run_parser = sub.add_parser("run", help="run one benchmark point")
+    run_parser.add_argument("-s", "--store", choices=STORE_NAMES,
+                            required=True)
+    run_parser.add_argument("-w", "--workload", choices=list(WORKLOADS),
+                            default="R")
+    run_parser.add_argument("-n", "--nodes", type=int, default=4)
+    run_parser.add_argument("-c", "--cluster", choices=("M", "D"),
+                            default="M")
+    run_parser.add_argument("--records", type=int, default=20_000,
+                            help="records per node (scaled data set)")
+    run_parser.add_argument("--ops", type=int, default=6000)
+    run_parser.add_argument("--seed", type=int, default=42)
+
+    figure_parser = sub.add_parser("figure",
+                                   help="regenerate a paper figure")
+    figure_parser.add_argument("figure",
+                               choices=list(FIGURES) + ["all"])
+    figure_parser.add_argument("--chart", action="store_true",
+                               help="also draw an ASCII chart")
+    figure_parser.add_argument("--check", action="store_true",
+                               help="verify the paper's expectations")
+    figure_parser.add_argument("--export", metavar="DIR",
+                               help="write JSON/CSV exports to DIR")
+
+    capacity_parser = sub.add_parser(
+        "capacity", help="Section 8 capacity arithmetic")
+    capacity_parser.add_argument("--monitored", type=int, default=240)
+    capacity_parser.add_argument("--metrics", type=int, default=10_000)
+    capacity_parser.add_argument("--interval", type=float, default=10.0)
+    capacity_parser.add_argument("--storage-nodes", type=int, default=12)
+    capacity_parser.add_argument("--throughput-per-node", type=float,
+                                 required=True)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "capacity": _cmd_capacity,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

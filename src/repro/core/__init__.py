@@ -1,0 +1,33 @@
+"""The APM domain layer — the paper's primary use case (Section 2).
+
+Application Performance Management tools instrument enterprise systems
+and report *metrics* (response times, failure rates, resource
+utilisation) from thousands of agents at fixed intervals.  This package
+models that producing side and the monitoring queries on top of the
+benchmarked stores:
+
+* :mod:`repro.core.metrics` — metric identities and the measurement
+  record of Figure 2 (name, value, min, max, timestamp, duration).
+* :mod:`repro.core.agents` — agents and agent fleets emitting
+  measurements at configurable monitoring levels.
+* :mod:`repro.core.queries` — the paper's example monitoring queries:
+  on-line sliding-window aggregates and historical (archive) analytics.
+* :mod:`repro.core.capacity` — the capacity arithmetic of Section 8
+  (how many storage nodes a monitored data centre needs).
+"""
+
+from repro.core.metrics import Measurement, MetricId, MonitoringLevel
+from repro.core.agents import Agent, AgentFleet
+from repro.core.queries import MonitoringQueries
+from repro.core.capacity import CapacityPlan, plan_capacity
+
+__all__ = [
+    "Agent",
+    "AgentFleet",
+    "CapacityPlan",
+    "Measurement",
+    "MetricId",
+    "MonitoringLevel",
+    "MonitoringQueries",
+    "plan_capacity",
+]

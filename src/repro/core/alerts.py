@@ -1,0 +1,137 @@
+"""Threshold triggers over monitored metrics (Section 2).
+
+"Some of the metrics are monitored by certain triggers that issue
+notifications in extreme cases."  This module provides that on-line
+side of APM: a :class:`TriggerRule` watches one metric (or a metric
+group) through the store-backed window queries and emits
+:class:`Notification` objects when a threshold is breached, with
+hysteresis so a flapping metric does not storm the operator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.metrics import MetricId
+from repro.core.queries import MonitoringQueries
+
+__all__ = ["Comparison", "TriggerRule", "Notification", "AlertEngine"]
+
+
+class Comparison(enum.Enum):
+    """How a rule compares the windowed aggregate to its threshold."""
+
+    ABOVE = ">"
+    BELOW = "<"
+
+    def breached(self, value: float, threshold: float) -> bool:
+        """Whether ``value`` violates ``threshold`` for this direction."""
+        if self is Comparison.ABOVE:
+            return value > threshold
+        return value < threshold
+
+
+@dataclass(frozen=True)
+class TriggerRule:
+    """One alerting rule over a sliding window.
+
+    ``aggregate`` selects the windowed statistic: ``"max"`` uses the
+    per-interval maxima (query 1 in Section 2), ``"avg"`` the averages
+    (query 2).  ``clear_ratio`` applies hysteresis: a firing rule only
+    clears once the value retreats past ``threshold * clear_ratio``
+    (for ABOVE; the inverse for BELOW).
+    """
+
+    name: str
+    metrics: tuple[MetricId, ...]
+    threshold: float
+    comparison: Comparison = Comparison.ABOVE
+    window_s: int = 600
+    aggregate: str = "max"
+    clear_ratio: float = 0.9
+
+    def __post_init__(self):
+        if not self.metrics:
+            raise ValueError("a trigger rule needs at least one metric")
+        if self.aggregate not in ("max", "avg"):
+            raise ValueError("aggregate must be 'max' or 'avg'")
+        if not 0 < self.clear_ratio <= 1.0:
+            raise ValueError("clear_ratio must be in (0, 1]")
+
+    def clear_threshold(self) -> float:
+        """The value the metric must retreat past to clear the alert."""
+        if self.comparison is Comparison.ABOVE:
+            return self.threshold * self.clear_ratio
+        return self.threshold / self.clear_ratio
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One emitted alert-state change."""
+
+    rule: str
+    kind: str  # "fire" or "clear"
+    value: float
+    threshold: float
+    timestamp: int
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates trigger rules against the store via window queries."""
+
+    queries: MonitoringQueries
+    rules: list[TriggerRule] = field(default_factory=list)
+    _firing: set[str] = field(default_factory=set)
+    notifications: list[Notification] = field(default_factory=list)
+
+    def add_rule(self, rule: TriggerRule) -> None:
+        """Register a rule (names must be unique)."""
+        if any(r.name == rule.name for r in self.rules):
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+
+    def is_firing(self, rule_name: str) -> bool:
+        """Whether the named rule is currently in the firing state."""
+        return rule_name in self._firing
+
+    def _evaluate_rule(self, rule: TriggerRule, now: int):
+        if rule.aggregate == "max":
+            best: Optional[float] = None
+            for metric in rule.metrics:
+                value = yield from self.queries.max_over_window(
+                    metric, now=now, window_s=rule.window_s)
+                if value is not None and (best is None or value > best):
+                    best = value
+            return best
+        value = yield from self.queries.avg_over_window(
+            rule.metrics, now=now, window_s=rule.window_s)
+        return value
+
+    def evaluate(self, now: int):
+        """Process: evaluate every rule at time ``now``.
+
+        Returns the notifications emitted during this evaluation round.
+        Missing data never fires a rule (and never clears one either):
+        an absent metric is an ingestion problem, not an incident.
+        """
+        emitted: list[Notification] = []
+        for rule in self.rules:
+            value = yield from self._evaluate_rule(rule, now)
+            if value is None:
+                continue
+            firing = rule.name in self._firing
+            if not firing and rule.comparison.breached(value,
+                                                       rule.threshold):
+                self._firing.add(rule.name)
+                emitted.append(Notification(rule.name, "fire", value,
+                                            rule.threshold, now))
+            elif firing and not rule.comparison.breached(
+                    value, rule.clear_threshold()):
+                self._firing.discard(rule.name)
+                emitted.append(Notification(rule.name, "clear", value,
+                                            rule.threshold, now))
+        self.notifications.extend(emitted)
+        return emitted

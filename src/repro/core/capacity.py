@@ -1,0 +1,81 @@
+"""Capacity planning: the arithmetic of the paper's conclusion.
+
+Section 8: "Considering the initial statement that a maximum of 5% of
+the nodes are designated for storing monitoring data, for 12 monitoring
+nodes the number of nodes monitored would be around 240.  If agents on
+each of these report 10 K measurements every 10 seconds, the total
+number of inserts per second is 240 K."  The planner generalises that
+calculation and compares the required rate with a measured (or assumed)
+store throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CapacityPlan", "plan_capacity"]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of a capacity check for an APM storage tier."""
+
+    monitored_nodes: int
+    metrics_per_node: int
+    interval_s: float
+    required_inserts_per_s: float
+    storage_nodes: int
+    store_throughput_per_node: float
+    sustainable: bool
+    utilisation: float
+
+    def headroom_factor(self) -> float:
+        """How much faster the tier is than required (>1 is sustainable)."""
+        if self.required_inserts_per_s == 0:
+            return float("inf")
+        total = self.storage_nodes * self.store_throughput_per_node
+        return total / self.required_inserts_per_s
+
+
+def plan_capacity(monitored_nodes: int, metrics_per_node: int,
+                  interval_s: float, storage_nodes: int,
+                  store_throughput_per_node: float) -> CapacityPlan:
+    """Check whether a storage tier sustains a monitored estate.
+
+    The paper's worked example::
+
+        plan_capacity(monitored_nodes=240, metrics_per_node=10_000,
+                      interval_s=10, storage_nodes=12,
+                      store_throughput_per_node=...)
+
+    requires 240 K inserts/s across 12 nodes — "higher than the maximum
+    throughput that Cassandra achieves for Workload W on Cluster M but
+    not drastically" (Section 8).
+    """
+    if monitored_nodes < 0 or metrics_per_node < 0:
+        raise ValueError("counts cannot be negative")
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    if storage_nodes < 1:
+        raise ValueError("need at least one storage node")
+    required = monitored_nodes * metrics_per_node / interval_s
+    total = storage_nodes * store_throughput_per_node
+    utilisation = required / total if total > 0 else float("inf")
+    return CapacityPlan(
+        monitored_nodes=monitored_nodes,
+        metrics_per_node=metrics_per_node,
+        interval_s=interval_s,
+        required_inserts_per_s=required,
+        storage_nodes=storage_nodes,
+        store_throughput_per_node=store_throughput_per_node,
+        sustainable=utilisation <= 1.0,
+        utilisation=utilisation,
+    )
+
+
+def storage_budget_nodes(monitored_nodes: int,
+                         budget_fraction: float = 0.05) -> int:
+    """Storage nodes allowed under the paper's 5% infrastructure budget."""
+    if not 0 < budget_fraction < 1:
+        raise ValueError("budget fraction must be in (0, 1)")
+    return max(1, int(monitored_nodes * budget_fraction))

@@ -1,0 +1,44 @@
+"""Hash functions used for sharding and key scattering.
+
+Implemented from scratch to match the libraries the paper's clients used:
+MurmurHash64A is Jedis's ring hash, and MD5 (first eight digest bytes)
+is its alternative — the paper tried both "with the same result"
+(Section 5.1, footnote 7).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["murmur64a", "md5_long"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def murmur64a(data: bytes, seed: int = 0x1234ABCD) -> int:
+    """MurmurHash64A — the hash Jedis uses for its shard ring."""
+    m = 0xC6A4A7935BD1E995
+    r = 47
+    h = (seed ^ (len(data) * m)) & _MASK64
+    n_blocks = len(data) // 8
+    for i in range(n_blocks):
+        k = int.from_bytes(data[i * 8:(i + 1) * 8], "little")
+        k = (k * m) & _MASK64
+        k ^= k >> r
+        k = (k * m) & _MASK64
+        h ^= k
+        h = (h * m) & _MASK64
+    tail = data[n_blocks * 8:]
+    if tail:
+        h ^= int.from_bytes(tail, "little")
+        h = (h * m) & _MASK64
+    h ^= h >> r
+    h = (h * m) & _MASK64
+    h ^= h >> r
+    return h
+
+
+def md5_long(data: bytes) -> int:
+    """The first 8 bytes of an MD5 digest, as Jedis's MD5 option does."""
+    digest = hashlib.md5(data).digest()
+    return int.from_bytes(digest[:8], "little")

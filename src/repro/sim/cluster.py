@@ -1,0 +1,177 @@
+"""Node and cluster hardware profiles.
+
+Reproduces the two test beds of Section 3:
+
+* **Cluster M** (memory-bound): 16 Linux nodes, two quad-core Xeons
+  (8 cores), 16 GB RAM, two 74 GB disks in RAID 0, gigabit ethernet.
+* **Cluster D** (disk-bound): 24 Linux nodes, two dual-core Xeons
+  (4 cores), 4 GB RAM, one 74 GB disk, gigabit ethernet.
+
+A :class:`Cluster` instantiates server nodes plus dedicated workload
+generator (client) nodes on a shared :class:`~repro.sim.network.Network`,
+matching the paper's separation of YCSB client machines from storage nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.disk import Disk, DiskSpec, PageCache
+from repro.sim.kernel import Simulator
+from repro.sim.network import GIGABIT, Network, NetworkSpec
+from repro.sim.resources import Resource
+
+__all__ = [
+    "NodeSpec",
+    "ClusterSpec",
+    "Node",
+    "Cluster",
+    "CLUSTER_M",
+    "CLUSTER_D",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of a single cluster node."""
+
+    cores: int = 8
+    core_speed: float = 1.0  # relative to a 2.0 GHz Xeon core
+    ram_bytes: int = 16 * 2**30
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    #: Fraction of RAM the OS page cache / store caches may use.
+    cache_fraction: float = 0.7
+
+    @property
+    def cache_bytes(self) -> int:
+        """RAM available to the page cache on this node."""
+        return int(self.ram_bytes * self.cache_fraction)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named cluster configuration."""
+
+    name: str
+    node: NodeSpec
+    max_nodes: int
+    network: NetworkSpec = GIGABIT
+    #: Client connections opened per server node (Section 3: 128 on M, 8 on D).
+    connections_per_node: int = 128
+    #: Server nodes served by one client (workload generator) machine.
+    servers_per_client: int = 3
+
+
+#: Cluster M: memory-bound, 16 nodes, 8 cores / 16 GB RAM / RAID-0 disks.
+CLUSTER_M = ClusterSpec(
+    name="M",
+    node=NodeSpec(
+        cores=8,
+        core_speed=1.0,
+        ram_bytes=16 * 2**30,
+        disk=DiskSpec(
+            seq_bandwidth_bytes_per_s=140_000_000.0,  # two spindles, RAID 0
+            seek_time_s=0.004,
+            rotational_latency_s=0.002,
+            capacity_bytes=148 * 10**9,
+            queue_depth=8,
+        ),
+    ),
+    max_nodes=16,
+    connections_per_node=128,
+)
+
+#: Cluster D: disk-bound, 24 nodes, 4 slower cores / 4 GB RAM / one disk.
+#: With only 4 GB of RAM the JVM heaps of the stores crowd out the OS
+#: page cache, so a much smaller fraction of memory caches data than on
+#: Cluster M.
+CLUSTER_D = ClusterSpec(
+    name="D",
+    node=NodeSpec(
+        cores=4,
+        core_speed=0.8,
+        ram_bytes=4 * 2**30,
+        cache_fraction=0.25,
+        disk=DiskSpec(
+            seq_bandwidth_bytes_per_s=70_000_000.0,
+            seek_time_s=0.0045,
+            rotational_latency_s=0.003,
+            capacity_bytes=74 * 10**9,
+            queue_depth=2,
+        ),
+    ),
+    max_nodes=24,
+    connections_per_node=8,  # 2 per core (Section 3)
+)
+
+
+class Node:
+    """A simulated machine: CPU cores, a disk, a page cache, and a NIC."""
+
+    def __init__(self, sim: Simulator, spec: NodeSpec, name: str,
+                 network: Network):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        self.network = network
+        self.cpus = Resource(sim, spec.cores, f"cpu:{name}")
+        self.disk = Disk(sim, spec.disk, name)
+        self.page_cache = PageCache(spec.cache_bytes)
+        network.attach(name)
+
+    def cpu(self, cost_s: float):
+        """Process: execute ``cost_s`` seconds of single-core work here.
+
+        The cost is expressed for a reference core and scaled by this
+        node's :attr:`NodeSpec.core_speed`.
+        """
+        yield self.sim.process(self.cpus.use(cost_s / self.spec.core_speed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, cores={self.spec.cores})"
+
+
+class Cluster:
+    """A provisioned simulation: server nodes + client nodes + network."""
+
+    def __init__(self, spec: ClusterSpec, n_servers: int,
+                 sim: Simulator | None = None,
+                 n_clients: int | None = None):
+        if n_servers < 1:
+            raise ValueError("need at least one server node")
+        if n_servers > spec.max_nodes:
+            raise ValueError(
+                f"cluster {spec.name} has only {spec.max_nodes} nodes, "
+                f"requested {n_servers}"
+            )
+        self.spec = spec
+        self.sim = sim or Simulator()
+        self.network = Network(self.sim, spec.network)
+        self.servers = [
+            Node(self.sim, spec.node, f"server-{i}", self.network)
+            for i in range(n_servers)
+        ]
+        if n_clients is None:
+            n_clients = -(-n_servers // spec.servers_per_client)  # ceil div
+        self.clients = [
+            Node(self.sim, spec.node, f"client-{i}", self.network)
+            for i in range(max(1, n_clients))
+        ]
+
+    @property
+    def n_servers(self) -> int:
+        """Number of storage server nodes."""
+        return len(self.servers)
+
+    def client_for_connection(self, connection_index: int) -> Node:
+        """Spread client connections round-robin over client machines."""
+        return self.clients[connection_index % len(self.clients)]
+
+    def with_cache_fraction(self, fraction: float) -> "Cluster":
+        """A fresh cluster identical to this one but with resized caches.
+
+        Used by the memory- vs disk-bound ablation.
+        """
+        node = replace(self.spec.node, cache_fraction=fraction)
+        spec = replace(self.spec, node=node)
+        return Cluster(spec, self.n_servers, n_clients=len(self.clients))

@@ -1,0 +1,391 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based event engine in the style of SimPy.
+The kernel is the foundation of the cluster substrate that replaces the
+paper's physical test beds: every store operation is a :class:`Process`
+that yields :class:`Event` objects (timeouts, resource grants, sub-process
+completions) and accumulates simulated time.
+
+Design notes
+------------
+* Events are scheduled on a binary heap keyed by ``(time, sequence)`` so
+  simultaneous events fire in deterministic FIFO order.
+* A :class:`Process` is itself an :class:`Event` that succeeds with the
+  generator's return value, which lets processes wait on each other and
+  lets :class:`AllOf` / :class:`AnyOf` compose fan-out RPCs.
+* Failures propagate: if a yielded event fails, the exception is thrown
+  into the waiting generator; unhandled failures surface from
+  :meth:`Simulator.run` as :class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "KOf",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is used incorrectly."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, is *triggered* once :meth:`succeed` or
+    :meth:`fail` is called, and then notifies its callbacks exactly once
+    when the simulator processes it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    PENDING = object()
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = Event.PENDING
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception when it failed)."""
+        if self._value is Event.PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.sim._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A running simulation actor wrapping a generator.
+
+    The generator yields :class:`Event` instances.  When a yielded event
+    fires, the process resumes with the event's value (or the exception is
+    thrown into the generator if the event failed).  The process — being an
+    event itself — succeeds with the generator's return value.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process target must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume on the next kernel step at the current time.
+        initial = Event(sim)
+        initial.callbacks.append(self._resume)
+        initial.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event._value)
+            else:
+                target = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            try:
+                self.generator.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as err:  # noqa: BLE001
+                self.fail(err)
+            return
+        if target.processed:
+            # The event already fired; resume immediately at the current time.
+            bounce = Event(self.sim)
+            bounce.callbacks.append(self._resume)
+            bounce._ok = target._ok
+            bounce._value = target._value
+            bounce._triggered = True
+            self.sim._schedule(bounce)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """Succeeds when all child events succeed; fails on the first failure.
+
+    The value is a list of the child events' values, in input order.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class KOf(Event):
+    """Succeeds when ``k`` of the child events have succeeded.
+
+    The quorum-wait building block: a replicated write resumes once the
+    required acknowledgements arrive while the stragglers complete in
+    the background.  Fails on the first child failure.
+    """
+
+    __slots__ = ("_needed",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], k: int):
+        super().__init__(sim)
+        children = list(events)
+        if k < 0 or k > len(children):
+            raise SimulationError(
+                f"need 0 <= k <= {len(children)}, got {k}"
+            )
+        self._needed = k
+        if k == 0:
+            self.succeed()
+            return
+        for child in children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                child.callbacks.append(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._triggered:
+            return
+        if not child.ok:
+            self.fail(child._value)
+            return
+        self._needed -= 1
+        if self._needed == 0:
+            self.succeed()
+
+
+class AnyOf(Event):
+    """Succeeds when the first child event triggers.
+
+    The value is the ``(index, value)`` of the first child to fire.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            if child.processed:
+                self._on_child(index, child)
+            else:
+                child.callbacks.append(
+                    lambda c, i=index: self._on_child(i, c)
+                )
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self._triggered:
+            return
+        if child.ok:
+            self.succeed((index, child._value))
+        else:
+            self.fail(child._value)
+
+
+class Simulator:
+    """The event loop: owns simulated time and the pending-event heap."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event succeeding once every event in ``events`` has succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event succeeding once any event in ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    def k_of(self, events: Iterable[Event], k: int) -> KOf:
+        """Event succeeding once ``k`` of ``events`` have succeeded."""
+        return KOf(self, events, k)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, __, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to quiescence), a number (run until
+        that simulated time), or an :class:`Event` (run until it fires; its
+        value is returned, and a failed event re-raises its exception).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                self.step()
+            if stop_event.ok:
+                return stop_event._value
+            raise stop_event._value
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon} (now is {self._now})"
+            )
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+        return None

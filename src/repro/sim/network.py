@@ -1,0 +1,99 @@
+"""Switched gigabit-ethernet network model.
+
+The paper's clusters connect all nodes "with a gigabit ethernet network over
+a single switch" (Section 3).  We model that topology: each node owns a
+full-duplex NIC (separate egress and ingress queues) and the switch itself
+is non-blocking, so a transfer is serialised on the sender NIC, delayed by
+propagation/switching latency, then serialised on the receiver NIC.
+
+The model captures the two effects the paper's results depend on:
+
+* per-message overhead — small APM records mean the fixed per-packet cost
+  dominates, which is why the paper stresses "inefficient resource usage
+  for memory, disk and network" with small records (Section 7);
+* NIC saturation — a node's ingest rate is ultimately bounded by wire
+  bandwidth, which the closed-loop clients can saturate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.cluster import Node
+
+__all__ = ["NetworkSpec", "Network", "GIGABIT"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Physical parameters of the cluster interconnect."""
+
+    bandwidth_bytes_per_s: float = 125_000_000.0  # 1 Gb/s
+    latency_s: float = 100e-6  # one-way propagation + switching
+    per_message_overhead_bytes: int = 66  # ethernet + IP + TCP headers
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialisation time for a message of ``nbytes`` payload bytes."""
+        total = nbytes + self.per_message_overhead_bytes
+        return total / self.bandwidth_bytes_per_s
+
+
+#: The paper's interconnect: gigabit ethernet through one switch.
+GIGABIT = NetworkSpec()
+
+
+class Network:
+    """A single-switch network connecting a set of nodes."""
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec = GIGABIT):
+        self.sim = sim
+        self.spec = spec
+        self._egress: dict[str, Resource] = {}
+        self._ingress: dict[str, Resource] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def attach(self, node_name: str) -> None:
+        """Register a node's NIC queues with the switch."""
+        self._egress[node_name] = Resource(self.sim, 1, f"nic-out:{node_name}")
+        self._ingress[node_name] = Resource(self.sim, 1, f"nic-in:{node_name}")
+
+    def egress_queue(self, node_name: str) -> Resource:
+        """The egress NIC resource for diagnostics."""
+        return self._egress[node_name]
+
+    def transfer(self, src: str, dst: str, nbytes: int):
+        """Process: move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Same-node transfers (client co-located with a server process) skip
+        the wire entirely but still pay a small loopback cost.
+        """
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if src == dst:
+            yield self.sim.timeout(5e-6)
+            return
+        wire = self.spec.wire_time(nbytes)
+        yield self.sim.process(self._egress[src].use(wire))
+        yield self.sim.timeout(self.spec.latency_s)
+        yield self.sim.process(self._ingress[dst].use(wire))
+
+    def rpc(self, src: "str | Node", dst: "str | Node", request_bytes: int,
+            response_bytes: int, handler):
+        """Process: a synchronous request/response exchange.
+
+        ``handler`` is a generator (the server-side work, executed on the
+        destination); its return value becomes the RPC's return value.
+        This is the building block for every store's client/server hop.
+        """
+        src_name = src if isinstance(src, str) else src.name
+        dst_name = dst if isinstance(dst, str) else dst.name
+        yield self.sim.process(self.transfer(src_name, dst_name, request_bytes))
+        result = yield self.sim.process(handler)
+        yield self.sim.process(self.transfer(dst_name, src_name, response_bytes))
+        return result

@@ -1,0 +1,132 @@
+"""Queueing resources for the simulation kernel.
+
+A :class:`Resource` models a server station with a fixed number of slots
+(CPU cores, disk queue, NIC, connection pool).  Processes ``yield
+resource.request()`` to obtain a slot and must call ``resource.release(req)``
+when done.  Utilisation and queueing statistics are tracked so benchmarks
+can report on saturation, which is what the paper's "maximum sustainable
+throughput" methodology probes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Request", "Resource", "ResourceStats"]
+
+
+@dataclass
+class ResourceStats:
+    """Aggregate occupancy statistics for a :class:`Resource`."""
+
+    requests: int = 0
+    total_wait_time: float = 0.0
+    total_service_time: float = 0.0
+    busy_time: float = 0.0
+    peak_queue_length: int = 0
+    _last_change: float = 0.0
+    _area_in_use: float = field(default=0.0, repr=False)
+
+    @property
+    def mean_wait_time(self) -> float:
+        """Average time a request spent queued before being granted."""
+        return self.total_wait_time / self.requests if self.requests else 0.0
+
+    def mean_in_use(self, now: float) -> float:
+        """Time-averaged number of busy slots up to ``now``."""
+        return self._area_in_use / now if now > 0 else 0.0
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "requested_at", "granted_at")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.requested_at = resource.sim.now
+        self.granted_at: Optional[float] = None
+
+
+class Resource:
+    """A FIFO multi-server resource."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(
+                f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.stats = ResourceStats()
+        self._in_use = 0
+        self._queue: deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently occupied slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        elapsed = now - self.stats._last_change
+        if elapsed > 0:
+            self.stats._area_in_use += elapsed * self._in_use
+            if self._in_use > 0:
+                self.stats.busy_time += elapsed
+        self.stats._last_change = now
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self)
+        self.stats.requests += 1
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+            if len(self._queue) > self.stats.peak_queue_length:
+                self.stats.peak_queue_length = len(self._queue)
+        return req
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self._in_use += 1
+        req.granted_at = self.sim.now
+        self.stats.total_wait_time += req.granted_at - req.requested_at
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot to the pool."""
+        if req.granted_at is None:
+            raise SimulationError(
+                "cannot release a request that was never granted")
+        self._account()
+        self.stats.total_service_time += self.sim.now - req.granted_at
+        self._in_use -= 1
+        if self._queue and self._in_use < self.capacity:
+            self._grant(self._queue.popleft())
+
+    def use(self, duration: float):
+        """Convenience process: acquire a slot, hold it for ``duration``.
+
+        Usage from another process::
+
+            yield sim.process(resource.use(0.001))
+        """
+        req = self.request()
+        yield req
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(req)

@@ -1,0 +1,65 @@
+"""Bloom filters.
+
+Every SSTable/HFile carries a Bloom filter so point reads can skip runs
+that cannot contain the key — the mechanism that keeps LSM read
+amplification bounded and that the ``bench_ablation_bloom`` experiment
+switches off.
+"""
+
+from __future__ import annotations
+
+import math
+from hashlib import blake2b
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """A classic k-hash Bloom filter over a bit array."""
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items < 1:
+            expected_items = 1
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        self.expected_items = expected_items
+        self.false_positive_rate = false_positive_rate
+        ln2 = math.log(2)
+        self.n_bits = max(
+            8, int(-expected_items * math.log(false_positive_rate) / (ln2 * ln2))
+        )
+        self.n_hashes = max(1, round((self.n_bits / expected_items) * ln2))
+        self._bits = bytearray((self.n_bits + 7) // 8)
+        self.n_items = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint of the filter."""
+        return len(self._bits)
+
+    def _positions(self, key: str):
+        # Kirsch–Mitzenmacher double hashing from one 16-byte digest.
+        digest = blake2b(key.encode("utf-8"), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1
+        for i in range(self.n_hashes):
+            yield (h1 + i * h2) % self.n_bits
+
+    def add(self, key: str) -> None:
+        """Insert ``key`` into the filter."""
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.n_items += 1
+
+    def might_contain(self, key: str) -> bool:
+        """``False`` means definitely absent; ``True`` means probably present."""
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    def estimated_fp_rate(self) -> float:
+        """The theoretical false-positive rate at the current fill."""
+        if self.n_items == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.n_hashes * self.n_items / self.n_bits)
+        return fill ** self.n_hashes

@@ -1,0 +1,93 @@
+"""In-memory hash + sorted-set store (the Redis data model).
+
+YCSB's Redis binding stores each record as a Redis *hash* keyed by the
+record key and additionally indexes every key in one global *sorted set*
+so that scans are possible.  This module reproduces that layout: a Python
+dict of field-maps plus a skip list of keys (Redis's own zset is also a
+skip list), with jemalloc-style memory accounting used by the Redis
+out-of-memory analysis of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.storage.encoding import redis_memory_per_record
+from repro.storage.record import APM_SCHEMA, RecordSchema
+from repro.storage.skiplist import SkipList
+
+__all__ = ["HashStore"]
+
+
+class HashStore:
+    """A single Redis-like node's keyspace."""
+
+    def __init__(self, schema: RecordSchema = APM_SCHEMA,
+                 max_memory_bytes: Optional[int] = None, seed: int = 0):
+        self.schema = schema
+        self.max_memory_bytes = max_memory_bytes
+        self._hashes: dict[str, dict[str, str]] = {}
+        self._index = SkipList(seed=seed)
+        self._bytes_per_record = redis_memory_per_record(schema)
+        self.evictions = 0
+        self.oom_errors = 0
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    @property
+    def used_memory_bytes(self) -> float:
+        """Estimated resident set of the keyspace."""
+        return len(self._hashes) * self._bytes_per_record
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the next insert would exceed ``max_memory_bytes``."""
+        if self.max_memory_bytes is None:
+            return False
+        return (self.used_memory_bytes + self._bytes_per_record
+                > self.max_memory_bytes)
+
+    def hset(self, key: str, fields: Mapping[str, str]) -> bool:
+        """HMSET + ZADD: store the record and index its key.
+
+        Returns ``False`` (and counts an OOM error) when the memory limit
+        is reached and the key is new — the failure mode the paper hit on
+        its hottest Redis shard at 12 nodes.
+        """
+        is_new = key not in self._hashes
+        if is_new and self.is_full:
+            self.oom_errors += 1
+            return False
+        if is_new:
+            self._index.put(key, None)
+            self._hashes[key] = dict(fields)
+        else:
+            self._hashes[key].update(fields)
+        return True
+
+    def hgetall(self, key: str) -> Optional[dict[str, str]]:
+        """Fetch all fields of a record."""
+        fields = self._hashes.get(key)
+        return dict(fields) if fields is not None else None
+
+    def zrange_from(self, start_key: str, count: int) -> list[str]:
+        """Keys >= ``start_key`` in order (ZRANGEBYLEX on the index)."""
+        return [key for key, __ in self._index.scan(start_key, count)]
+
+    def scan(self, start_key: str, count: int) -> list[tuple[str, dict[str, str]]]:
+        """Range scan via the key index, then per-key HGETALL."""
+        out = []
+        for key in self.zrange_from(start_key, count):
+            fields = self._hashes.get(key)
+            if fields is not None:
+                out.append((key, dict(fields)))
+        return out
+
+    def delete(self, key: str) -> bool:
+        """DEL + ZREM; returns whether the key existed."""
+        if key not in self._hashes:
+            return False
+        del self._hashes[key]
+        self._index.remove(key)
+        return True

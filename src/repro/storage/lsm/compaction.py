@@ -1,0 +1,105 @@
+"""Size-tiered compaction.
+
+Cassandra 1.0's default strategy: group SSTables into buckets of similar
+size; when a bucket reaches ``min_threshold`` tables, merge them into one.
+Newest data wins on key collisions; tombstones drop shadowed entries and
+are themselves purged when the merge output is the oldest data for the key
+(approximated here by purging tombstones whenever every input run
+participates, i.e. a full merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.storage.lsm.sstable import (
+    SSTable,
+    TOMBSTONE,
+    Versioned,
+    resolve_versions,
+)
+
+__all__ = ["CompactionTask", "SizeTieredCompaction", "merge_sstables"]
+
+
+def merge_sstables(tables: Sequence[SSTable], drop_tombstones: bool,
+                   bloom_fp_rate: float = 0.01) -> SSTable:
+    """K-way merge of runs; per-entry sequence numbers resolve conflicts."""
+    by_key: dict[str, list[Versioned]] = {}
+    for table in tables:
+        for key, versioned in table.items():
+            by_key.setdefault(key, []).append(versioned)
+    merged: list[tuple[str, Versioned]] = []
+    for key in sorted(by_key):
+        resolved = resolve_versions(by_key[key])
+        if drop_tombstones and resolved.value is TOMBSTONE:
+            continue
+        merged.append((key, resolved))
+    return SSTable(merged, bloom_fp_rate=bloom_fp_rate)
+
+
+@dataclass
+class CompactionTask:
+    """A planned merge: inputs, output, and the IO bill for the simulator."""
+
+    inputs: list[SSTable]
+    output: SSTable
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    @property
+    def io_bytes(self) -> int:
+        """Total sequential IO the merge performs."""
+        return self.read_bytes + self.write_bytes
+
+
+@dataclass
+class SizeTieredCompaction:
+    """Cassandra's SizeTieredCompactionStrategy."""
+
+    min_threshold: int = 4
+    max_threshold: int = 32
+    bucket_low: float = 0.5
+    bucket_high: float = 1.5
+    bloom_fp_rate: float = 0.01
+    compactions_run: int = field(default=0, init=False)
+
+    def _buckets(self, tables: Sequence[SSTable]) -> list[list[SSTable]]:
+        averages: list[float] = []
+        buckets: list[list[SSTable]] = []
+        for table in sorted(tables, key=lambda t: t.size_bytes):
+            for i, average in enumerate(averages):
+                low = average * self.bucket_low
+                high = average * self.bucket_high
+                tiny = table.size_bytes < 50 and average < 50
+                if low <= table.size_bytes <= high or tiny:
+                    buckets[i].append(table)
+                    averages[i] = (
+                        sum(t.size_bytes for t in buckets[i]) / len(buckets[i])
+                    )
+                    break
+            else:
+                averages.append(float(table.size_bytes))
+                buckets.append([table])
+        return buckets
+
+    def plan(self, tables: Sequence[SSTable]) -> CompactionTask | None:
+        """Choose the next merge, or ``None`` if no bucket is ripe."""
+        candidates = [
+            bucket for bucket in self._buckets(tables)
+            if len(bucket) >= self.min_threshold
+        ]
+        if not candidates:
+            return None
+        # Prefer the bucket with the most (smallest) tables, like Cassandra.
+        bucket = max(candidates, key=len)[: self.max_threshold]
+        drop_tombstones = len(bucket) == len(tables)
+        output = merge_sstables(bucket, drop_tombstones, self.bloom_fp_rate)
+        self.compactions_run += 1
+        return CompactionTask(
+            inputs=list(bucket),
+            output=output,
+            read_bytes=sum(t.size_bytes for t in bucket),
+            write_bytes=output.size_bytes,
+        )

@@ -1,0 +1,250 @@
+"""The log-structured merge engine tying memtable, WAL and SSTables together.
+
+The engine is purely functional: each mutating call returns an
+:class:`IoBill` describing the disk work it implies, which the store layer
+converts into simulated disk time.  This split keeps the data-structure
+logic unit-testable without a simulator.
+
+Conflict resolution uses per-write sequence numbers (``Versioned`` cells),
+matching Cassandra's timestamp semantics: reads fold every candidate
+version oldest-first, so correctness never depends on the order compaction
+leaves the runs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.storage.lsm.compaction import CompactionTask, SizeTieredCompaction
+from repro.storage.lsm.memtable import Memtable
+from repro.storage.lsm.sstable import (
+    SSTable,
+    TOMBSTONE,
+    Versioned,
+    resolve_versions,
+    sstable_entry_size,
+)
+from repro.storage.lsm.wal import CommitLog
+
+__all__ = ["IoBill", "LSMConfig", "LSMEngine", "ReadResult"]
+
+
+@dataclass
+class IoBill:
+    """Disk work implied by one engine call."""
+
+    wal_sync_bytes: int = 0
+    flush_write_bytes: int = 0
+    compaction_io_bytes: int = 0
+    #: Number of distinct on-disk runs a read had to consult (0 for
+    #: memtable-only reads).
+    runs_touched: int = 0
+    #: Block ids the read touched, for the page-cache model.
+    blocks: tuple = ()
+
+
+@dataclass
+class ReadResult:
+    """Outcome of a point read."""
+
+    fields: Optional[Mapping[str, str]]
+    bill: IoBill
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Engine tuning knobs (Cassandra 1.0-like defaults, scaled down)."""
+
+    memtable_flush_bytes: int = 8 * 2**20
+    bloom_fp_rate: float = 0.01
+    group_commit_ops: int = 64
+    bloom_enabled: bool = True
+    block_size: int = 4096
+    min_compaction_threshold: int = 4
+    max_compaction_threshold: int = 32
+    #: Column count of a complete record; a complete memtable hit (always
+    #: the newest version) lets reads skip the on-disk runs entirely.
+    expected_fields: int = 5
+
+
+class LSMEngine:
+    """A single node's LSM storage engine."""
+
+    def __init__(self, config: LSMConfig = LSMConfig(), seed: int = 0,
+                 name: str = "lsm"):
+        self.config = config
+        self.name = name
+        self._seed = seed
+        self._seq = 0
+        self.memtable = Memtable(seed=seed)
+        self.commit_log = CommitLog(group_commit_ops=config.group_commit_ops)
+        self.sstables: list[SSTable] = []
+        self.compaction = SizeTieredCompaction(
+            min_threshold=config.min_compaction_threshold,
+            max_threshold=config.max_compaction_threshold,
+            bloom_fp_rate=config.bloom_fp_rate,
+        )
+        self.flushes = 0
+        self.reads = 0
+        self.writes = 0
+        self.sstables_probed = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- write path ---------------------------------------------------------
+
+    def put(self, key: str, fields: Mapping[str, str]) -> IoBill:
+        """Durably buffer a write; returns the implied disk work."""
+        self.writes += 1
+        payload = sstable_entry_size(key, fields)
+        synced = self.commit_log.append(payload)
+        self.memtable.put(key, fields, self._next_seq())
+        bill = IoBill(wal_sync_bytes=synced)
+        self._maybe_flush(bill)
+        return bill
+
+    def delete(self, key: str) -> IoBill:
+        """Write a tombstone for ``key``."""
+        self.writes += 1
+        payload = sstable_entry_size(key, TOMBSTONE)
+        synced = self.commit_log.append(payload)
+        self.memtable.delete(key, self._next_seq())
+        bill = IoBill(wal_sync_bytes=synced)
+        self._maybe_flush(bill)
+        return bill
+
+    def _maybe_flush(self, bill: IoBill) -> None:
+        if self.memtable.size_bytes >= self.config.memtable_flush_bytes:
+            bill.flush_write_bytes += self.flush()
+            task = self.maybe_compact()
+            if task is not None:
+                bill.compaction_io_bytes += task.io_bytes
+
+    def flush(self) -> int:
+        """Flush the memtable into a new SSTable; returns bytes written."""
+        items = self.memtable.sorted_items()
+        if not items:
+            return 0
+        table = SSTable(items, bloom_fp_rate=self.config.bloom_fp_rate)
+        self.sstables.append(table)
+        self.flushes += 1
+        active = self.commit_log.active_segment.index
+        self.commit_log.force_sync()
+        self.commit_log.mark_clean(active - 1)
+        self.memtable = Memtable(seed=self._seed + self.flushes)
+        return table.size_bytes
+
+    def maybe_compact(self) -> Optional[CompactionTask]:
+        """Run one round of size-tiered compaction if a bucket is ripe."""
+        task = self.compaction.plan(self.sstables)
+        if task is None:
+            return None
+        drop = {id(t) for t in task.inputs}
+        self.sstables = [t for t in self.sstables if id(t) not in drop]
+        self.sstables.append(task.output)
+        return task
+
+    # -- read path ------------------------------------------------------------
+
+    def _block_of(self, table: SSTable, key: str) -> tuple:
+        """Block id a key's entry lives in, for the page-cache model."""
+        offset_proxy = hash((table.generation, key))
+        n_blocks = max(1, table.size_bytes // self.config.block_size)
+        return ("sst", self.name, table.generation, offset_proxy % n_blocks)
+
+    def get(self, key: str) -> ReadResult:
+        """Point read: memtable first, then every candidate SSTable.
+
+        A complete memtable hit short-circuits (it is by construction the
+        newest version); otherwise all bloom-passing runs are consulted and
+        folded by sequence number, exactly like Cassandra's read path.
+        """
+        self.reads += 1
+        candidates: list[Versioned] = []
+        buffered = self.memtable.get(key)
+        if buffered is not None:
+            if buffered.value is TOMBSTONE:
+                return ReadResult(None, IoBill())
+            if len(buffered.value) >= self.config.expected_fields:
+                return ReadResult(buffered.value, IoBill())
+            candidates.append(buffered)
+        blocks: list[tuple] = []
+        runs = 0
+        for table in reversed(self.sstables):
+            if self.config.bloom_enabled:
+                if not table.may_contain(key):
+                    continue
+            else:
+                if (table.min_key is None or key < table.min_key
+                        or key > table.max_key):
+                    continue
+            self.sstables_probed += 1
+            runs += 1
+            blocks.append(self._block_of(table, key))
+            versioned = table.get(key)
+            if versioned is not None:
+                candidates.append(versioned)
+        bill = IoBill(runs_touched=runs, blocks=tuple(blocks))
+        if not candidates:
+            return ReadResult(None, bill)
+        resolved = resolve_versions(candidates)
+        if resolved.value is TOMBSTONE:
+            return ReadResult(None, bill)
+        return ReadResult(resolved.value, bill)
+
+    def scan(self, start_key: str, count: int) -> tuple[
+            list[tuple[str, Mapping[str, str]]], IoBill]:
+        """Range scan merged across the memtable and every SSTable."""
+        self.reads += 1
+        by_key: dict[str, list[Versioned]] = {}
+        sources = 0
+        blocks: list[tuple] = []
+        for table in self.sstables:
+            chunk = table.scan(start_key, count)
+            if chunk:
+                sources += 1
+                for key, versioned in chunk:
+                    blocks.append(self._block_of(table, key))
+                    by_key.setdefault(key, []).append(versioned)
+        for key, versioned in self.memtable.scan(start_key, count):
+            by_key.setdefault(key, []).append(versioned)
+        live: list[tuple[str, Mapping[str, str]]] = []
+        for key in sorted(by_key):
+            resolved = resolve_versions(by_key[key])
+            if resolved.value is not TOMBSTONE:
+                live.append((key, resolved.value))
+            if len(live) == count:
+                break
+        bill = IoBill(runs_touched=sources, blocks=tuple(blocks))
+        return live, bill
+
+    def iter_blocks(self):
+        """All on-disk block ids (cache warm-up after a load phase)."""
+        for table in self.sstables:
+            for key, __ in table.items():
+                yield self._block_of(table, key)
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def disk_bytes(self) -> int:
+        """Current on-disk footprint: SSTables plus commit-log segments."""
+        return (sum(t.size_bytes for t in self.sstables)
+                + self.commit_log.total_bytes)
+
+    @property
+    def record_count(self) -> int:
+        """Live records currently visible to reads."""
+        by_key: dict[str, list[Versioned]] = {}
+        for table in self.sstables:
+            for key, versioned in table.items():
+                by_key.setdefault(key, []).append(versioned)
+        for key, versioned in self.memtable.sorted_items():
+            by_key.setdefault(key, []).append(versioned)
+        return sum(
+            1 for versions in by_key.values()
+            if resolve_versions(versions).value is not TOMBSTONE
+        )

@@ -1,0 +1,97 @@
+"""The benchmark record model.
+
+Section 3: "Our data set consists of records with a single alphanumeric key
+with a length of 25 bytes and 5 value fields each with 10 bytes.  Thus, a
+single record has a raw size of 75 bytes."
+
+A :class:`RecordSchema` captures that shape; :class:`Record` is one row.
+The APM measurement of Figure 2 (metric name, value, min, max, timestamp,
+duration) maps onto the same five-field layout, which is exactly the
+mapping the paper performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["RecordSchema", "Record", "APM_SCHEMA"]
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """Shape of the benchmark records."""
+
+    key_length: int = 25
+    field_count: int = 5
+    field_length: int = 10
+    field_prefix: str = "field"
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        """The ordered field names (``field0`` ... ``fieldN``)."""
+        return tuple(f"{self.field_prefix}{i}" for i in range(self.field_count))
+
+    @property
+    def raw_record_bytes(self) -> int:
+        """Raw payload size of one record: key plus all field values."""
+        return self.key_length + self.field_count * self.field_length
+
+    @property
+    def raw_value_bytes(self) -> int:
+        """Raw payload size of the value fields only (no key)."""
+        return self.field_count * self.field_length
+
+    def validate(self, record: "Record") -> None:
+        """Raise ``ValueError`` if ``record`` does not match this schema."""
+        if len(record.key) != self.key_length:
+            raise ValueError(
+                f"key {record.key!r} has length {len(record.key)}, "
+                f"schema requires {self.key_length}"
+            )
+        if set(record.fields) != set(self.field_names):
+            raise ValueError(
+                f"record fields {sorted(record.fields)} do not match "
+                f"schema fields {sorted(self.field_names)}"
+            )
+        for name, value in record.fields.items():
+            if len(value) != self.field_length:
+                raise ValueError(
+                    f"field {name} has length {len(value)}, schema "
+                    f"requires {self.field_length}"
+                )
+
+
+#: The paper's data set: 25-byte keys, five 10-byte fields, 75 raw bytes.
+APM_SCHEMA = RecordSchema()
+
+
+@dataclass(frozen=True)
+class Record:
+    """One benchmark row: a key plus named field values."""
+
+    key: str
+    fields: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def raw_size(self) -> int:
+        """Raw payload bytes: key length plus field value lengths."""
+        return len(self.key) + sum(len(v) for v in self.fields.values())
+
+    def subset(self, field_names: Iterable[str]) -> "Record":
+        """A record carrying only the requested fields."""
+        names = set(field_names)
+        return Record(self.key, {k: v for k, v in self.fields.items()
+                                 if k in names})
+
+    def merged_with(self, other: "Record") -> "Record":
+        """Column-wise merge, ``other`` winning on conflicts.
+
+        This is the LSM read-repair semantic: newer cell values override
+        older ones field by field.
+        """
+        if other.key != self.key:
+            raise ValueError("cannot merge records with different keys")
+        merged = dict(self.fields)
+        merged.update(other.fields)
+        return Record(self.key, merged)

@@ -1,0 +1,29 @@
+"""The six benchmarked store architectures.
+
+Each store is a functional distributed system running on the simulated
+cluster: real data structures, real partitioning, real client/server hops —
+with per-operation CPU/disk/network costs calibrated to the versions the
+paper benchmarked (Section 4).
+
+========  =============================  =====================================
+Store     Architecture                   Module
+========  =============================  =====================================
+cassandra symmetric token ring over an   :mod:`repro.stores.cassandra`
+          LSM engine (BigTable+Dynamo)
+hbase     master + region servers over   :mod:`repro.stores.hbase`
+          a replicated block filesystem  (+ :mod:`repro.stores.hdfs`)
+voldemort Dynamo-style DHT over          :mod:`repro.stores.voldemort`
+          BerkeleyDB-like B+trees
+redis     independent in-memory nodes,   :mod:`repro.stores.redis`
+          client-side (Jedis) sharding
+voltdb    partitioned single-threaded    :mod:`repro.stores.voltdb`
+          in-memory executors
+mysql     InnoDB-like B+tree nodes,      :mod:`repro.stores.mysql`
+          client-side (JDBC) sharding
+========  =============================  =====================================
+"""
+
+from repro.stores.base import OpType, Store, StoreSession
+from repro.stores.registry import STORE_NAMES, create_store
+
+__all__ = ["OpType", "STORE_NAMES", "Store", "StoreSession", "create_store"]

@@ -1,0 +1,328 @@
+"""The Cassandra model: a symmetric token ring over an LSM engine.
+
+Architecture per Section 4.2 of the paper, version 1.0.0-rc2 semantics:
+
+* every node is equal (no master); clients round-robin requests over all
+  nodes, and the receiving *coordinator* forwards each operation to the
+  token owner (RandomPartitioner, optimal tokens assigned as in Section 6);
+* writes append to a commit log (periodic group commit — they do not wait
+  for the disk) and a memtable; flushes and size-tiered compactions run in
+  the background, contending for the data disk;
+* reads consult the memtable plus every Bloom-passing SSTable; on the
+  disk-bound cluster those SSTable blocks miss the page cache and pay
+  random reads — the mechanism behind Figure 18's read/write asymmetry.
+
+Cost calibration targets the paper's single-node measurements: ~25 K ops/s
+for Workload R on Cluster M with read latencies that are queueing-dominated
+under maximum throughput (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.sim.cluster import Cluster, Node
+from repro.storage.lsm import LSMConfig, LSMEngine
+from repro.storage.record import APM_SCHEMA, Record, RecordSchema
+from repro.stores.base import ServiceProfile, Store, StoreSession
+from repro.stores.sharding import TokenRing
+
+__all__ = ["CassandraStore", "CassandraSession"]
+
+
+class CassandraStore(Store):
+    """A ring of symmetric LSM nodes."""
+
+    name = "cassandra"
+    supports_scans = True
+
+    #: CPU the coordinator spends parsing/forwarding a request it does
+    #: not own (thrift deserialisation, routing, response relay).
+    COORDINATOR_CPU = 90e-6
+
+    def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
+                 lsm_config: Optional[LSMConfig] = None,
+                 profile: Optional[ServiceProfile] = None,
+                 commitlog_sync: str = "periodic",
+                 compression_ratio: float = 1.0,
+                 replication_factor: int = 1,
+                 consistency_level: str = "one"):
+        super().__init__(cluster, schema, profile)
+        if commitlog_sync not in ("periodic", "batch"):
+            raise ValueError(
+                f"commitlog_sync must be 'periodic' or 'batch', "
+                f"got {commitlog_sync!r}"
+            )
+        if not 0.1 <= compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in [0.1, 1.0]")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if consistency_level not in ("one", "quorum", "all"):
+            raise ValueError(
+                "consistency_level must be 'one', 'quorum' or 'all'"
+            )
+        #: Replication factor (the paper ran RF=1 and deferred the
+        #: replication study to future work — Section 8).
+        self.replication_factor = min(replication_factor,
+                                      cluster.n_servers)
+        #: How many replica acknowledgements a write waits for.
+        self.consistency_level = consistency_level
+        #: "periodic" (the default, writes never wait for the disk) or
+        #: "batch" (every write waits for its commit-log fsync) — the
+        #: group-commit ablation.
+        self.commitlog_sync = commitlog_sync
+        #: SSTable block compression (paper future work): < 1.0 shrinks
+        #: on-disk bytes but charges compress/decompress CPU per op.
+        self.compression_ratio = compression_ratio
+        self.ring = TokenRing(cluster.n_servers)
+        group = 1 if commitlog_sync == "batch" else None
+        if lsm_config is None:
+            lsm_config = (LSMConfig(group_commit_ops=group) if group
+                          else LSMConfig())
+        self.engines = [
+            LSMEngine(lsm_config, seed=i, name=f"cassandra-{i}")
+            for i in range(cluster.n_servers)
+        ]
+
+    #: CPU per operation spent in the (de)compression codec when SSTable
+    #: compression is enabled.
+    COMPRESSION_CPU = 22e-6
+
+    @classmethod
+    def default_profile(cls) -> ServiceProfile:
+        return ServiceProfile(
+            read_cpu=290e-6,
+            write_cpu=240e-6,
+            scan_base_cpu=900e-6,
+            scan_per_record_cpu=14e-6,
+            client_cpu=25e-6,
+            # Thrift thread-per-connection + CMS GC pressure: each open
+            # connection costs ~0.06% extra CPU per op, which bends the
+            # 1536-connection 12-node point to the paper's ~5-6x speed-up.
+            per_connection_overhead=6e-4,
+        )
+
+    # -- deployment ----------------------------------------------------------
+
+    def load(self, records: Iterable[Record]) -> None:
+        """Functional load: route each record to its replica set.
+
+        Like a real bulk load under size-tiered compaction, the load
+        leaves a handful of SSTables per node rather than one fully
+        compacted run — reads must merge across them (the read
+        amplification the Bloom-filter ablation measures).
+        """
+        loaded = 0
+        for record in records:
+            for replica in self.ring.replicas_of(record.key,
+                                                 self.replication_factor):
+                self.engines[replica].put(record.key, dict(record.fields))
+            loaded += 1
+            if loaded % 4000 == 0:
+                for engine in self.engines:
+                    engine.flush()
+        for engine in self.engines:
+            engine.flush()
+            # One minor-compaction pass, as a real load phase gets:
+            # leaves a couple of runs per node, not a single major-
+            # compacted file and not the whole flush history.
+            engine.maybe_compact()
+
+    def session(self, client_node: Node, index: int) -> "CassandraSession":
+        return CassandraSession(self, client_node, index)
+
+    def required_acks(self) -> int:
+        """Replica acknowledgements a write waits for (consistency level)."""
+        if self.consistency_level == "one":
+            return 1
+        if self.consistency_level == "quorum":
+            return self.replication_factor // 2 + 1
+        return self.replication_factor
+
+    def warm_caches(self) -> None:
+        for i, engine in enumerate(self.engines):
+            cache = self.cluster.servers[i].page_cache
+            for block in engine.iter_blocks():
+                cache.insert(block)
+
+    def disk_bytes_per_server(self) -> list[int]:
+        return [int(engine.disk_bytes * self.compression_ratio)
+                for engine in self.engines]
+
+    # -- server-side handlers (run on the owner node) -------------------------
+
+    def _background_io(self, node: Node, nbytes: int):
+        """Flush/compaction IO contends with foreground ops on the disk."""
+        yield from node.disk.write(nbytes, sequential=True, sync=True)
+
+    def _apply_write(self, owner: int, key: str,
+                     fields: Mapping[str, str]):
+        node = self.cluster.servers[owner]
+        write_cpu = self.profile.write_cpu
+        if self.compression_ratio < 1.0:
+            write_cpu += self.COMPRESSION_CPU
+        yield from node.cpu(self.server_cost(write_cpu))
+        bill = self.engines[owner].put(key, fields)
+        if bill.wal_sync_bytes:
+            if self.commitlog_sync == "batch":
+                # commitlog_sync: batch — the write waits for the fsync.
+                yield from node.disk.write(bill.wal_sync_bytes,
+                                           sequential=True, sync=True)
+            else:
+                # commitlog_sync: periodic — the write does not wait.
+                self.sim.process(
+                    self._background_io(node, bill.wal_sync_bytes),
+                    name="commitlog-sync",
+                )
+        background = int(
+            (bill.flush_write_bytes + bill.compaction_io_bytes)
+            * self.compression_ratio
+        )
+        if background:
+            self.sim.process(
+                self._background_io(node, background), name="flush"
+            )
+        return True
+
+    def _apply_read(self, owner: int, key: str):
+        node = self.cluster.servers[owner]
+        read_cpu = self.profile.read_cpu
+        if self.compression_ratio < 1.0:
+            read_cpu += self.COMPRESSION_CPU
+        yield from node.cpu(self.server_cost(read_cpu))
+        result = self.engines[owner].get(key)
+        yield from self.cached_read_io(node, result.bill.blocks)
+        return result.fields
+
+    def _apply_scan(self, owner: int, start_key: str, count: int):
+        node = self.cluster.servers[owner]
+        yield from node.cpu(self.server_cost(
+            self.profile.scan_base_cpu
+            + count * self.profile.scan_per_record_cpu
+        ))
+        rows, bill = self.engines[owner].scan(start_key, count)
+        yield from self.cached_read_io(node, bill.blocks)
+        return rows
+
+
+class CassandraSession(StoreSession):
+    """One client connection; rotates its coordinator per request."""
+
+    def __init__(self, store: CassandraStore, client_node: Node, index: int):
+        super().__init__(store, client_node, index)
+        self._rr = index  # stagger coordinators across sessions
+
+    def _next_coordinator(self) -> int:
+        self._rr += 1
+        return self._rr % self.store.cluster.n_servers
+
+    def _route(self, owner: int, handler, request_bytes: int,
+               response_bytes: int):
+        """Client -> coordinator (-> owner) -> back, with CPU charges."""
+        store = self.store
+        sim = store.sim
+        coordinator = self._next_coordinator()
+        yield from store.client_cpu(self.client)
+        coordinator_node = store.cluster.servers[coordinator]
+
+        if coordinator == owner:
+            server_work = handler
+        else:
+            def forwarded():
+                yield from coordinator_node.cpu(store.COORDINATOR_CPU)
+                result = yield from store.cluster.network.rpc(
+                    coordinator_node, store.cluster.servers[owner],
+                    request_bytes, response_bytes, handler,
+                )
+                return result
+            server_work = forwarded()
+
+        result = yield from store.cluster.network.rpc(
+            self.client, coordinator_node, request_bytes, response_bytes,
+            server_work,
+        )
+        return result
+
+    def read(self, key: str):
+        store = self.store
+        owner = store.ring.owner_of(key)
+        result = yield from self._route(
+            owner, store._apply_read(owner, key),
+            store.request_bytes(key), store.response_bytes(1),
+        )
+        return result
+
+    def insert(self, key: str, fields: Mapping[str, str]):
+        store = self.store
+        if store.replication_factor == 1:
+            owner = store.ring.owner_of(key)
+            result = yield from self._route(
+                owner, store._apply_write(owner, key, fields),
+                store.request_bytes(key, fields, with_payload=True),
+                store.response_bytes(0),
+            )
+            return result
+        result = yield from self._replicated_insert(key, fields)
+        return result
+
+    def _replicated_insert(self, key: str, fields: Mapping[str, str]):
+        """RF > 1: the coordinator fans the mutation out to every
+        replica and acknowledges once the consistency level is met —
+        the replication extension of the paper's future work."""
+        store = self.store
+        sim = store.sim
+        replicas = store.ring.replicas_of(key, store.replication_factor)
+        request = store.request_bytes(key, fields, with_payload=True)
+        response = store.response_bytes(0)
+        coordinator = self._next_coordinator()
+        coordinator_node = store.cluster.servers[coordinator]
+        yield from store.client_cpu(self.client)
+
+        def coordinate():
+            yield from coordinator_node.cpu(store.COORDINATOR_CPU)
+            acks = []
+            for replica in replicas:
+                if replica == coordinator:
+                    acks.append(sim.process(
+                        store._apply_write(replica, key, fields)))
+                else:
+                    acks.append(sim.process(store.cluster.network.rpc(
+                        coordinator_node, store.cluster.servers[replica],
+                        request, response,
+                        store._apply_write(replica, key, fields),
+                    )))
+            yield sim.k_of(acks, store.required_acks())
+            return True
+
+        result = yield from store.cluster.network.rpc(
+            self.client, coordinator_node, request, response,
+            coordinate(),
+        )
+        return result
+
+    def scan(self, start_key: str, count: int):
+        store = self.store
+        # RandomPartitioner get_range_slices: the scan starts at the token
+        # owner of the start key and walks that node's range.
+        owner = store.ring.owner_of(start_key)
+        rows = yield from self._route(
+            owner, store._apply_scan(owner, start_key, count),
+            store.request_bytes(start_key), store.response_bytes(count),
+        )
+        return rows
+
+    def delete(self, key: str):
+        store = self.store
+        owner = store.ring.owner_of(key)
+
+        def handler():
+            node = store.cluster.servers[owner]
+            yield from node.cpu(store.profile.write_cpu)
+            store.engines[owner].delete(key)
+            return True
+
+        result = yield from self._route(
+            owner, handler(), store.request_bytes(key),
+            store.response_bytes(0),
+        )
+        return result

@@ -1,0 +1,237 @@
+"""The Redis model: independent in-memory nodes, client-side sharding.
+
+Architecture per Section 4.4 / Section 6, version 2.4.2 semantics:
+
+* the Redis cluster version was unusable at the time, so the paper ran
+  one standalone instance per node and sharded in the *client* with the
+  Jedis ``ShardedJedisPool`` (MurmurHash ring, 160 virtual nodes);
+* each instance is single-threaded — one event loop serves all commands;
+* every YCSB thread holds a socket to every shard, which "quickly
+  saturated [the system] because of the number of connections.  As a
+  result, we were forced to use a smaller number of threads" — modelled
+  by :meth:`RedisStore.connections`, which shrinks the thread count as
+  the cluster grows (this is why Redis *latency drops* with node count in
+  Figures 4/5 while its throughput stops scaling);
+* the Jedis ring is measurably unbalanced; the hottest shard carries the
+  excess and is the node that "consistently ran out of memory in the
+  12-node configuration" (Section 5.1, footnote 7);
+* a record is a Redis hash plus an entry in one global sorted set used
+  for scans (Section 4.4); scans ZRANGE the index on the shard owning the
+  start key and pipeline an MGET for the rows.
+
+Redis keeps everything in RAM: it does not appear in the disk-usage
+experiment (Figure 17).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.sim.cluster import Cluster, Node
+from repro.sim.resources import Resource
+from repro.storage.hashstore import HashStore
+from repro.storage.record import APM_SCHEMA, Record, RecordSchema
+from repro.stores.base import ServiceProfile, Store, StoreSession
+from repro.stores.sharding import ConsistentHashRing, jdbc_ring, jedis_ring
+
+__all__ = ["RedisStore", "RedisSession"]
+
+
+class RedisStore(Store):
+    """Standalone in-memory shards behind a Jedis-style client ring."""
+
+    name = "redis"
+    supports_scans = True
+
+    def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
+                 profile: ServiceProfile | None = None,
+                 hash_algorithm: str = "murmur"):
+        """``hash_algorithm`` picks the client ring: "murmur" or "md5"
+        (Jedis's two options — the paper tried both, footnote 7), or
+        "balanced" for the ablation that replaces Jedis's ring with a
+        well-balanced one."""
+        super().__init__(cluster, schema, profile)
+        names = [node.name for node in cluster.servers]
+        if hash_algorithm == "balanced":
+            self.ring: ConsistentHashRing = jdbc_ring(names)
+        else:
+            self.ring = jedis_ring(names, hash_algorithm)
+        self._index_of = {name: i for i, name in enumerate(names)}
+        self.shards = [
+            HashStore(schema, max_memory_bytes=node.spec.cache_bytes,
+                      seed=i)
+            for i, node in enumerate(cluster.servers)
+        ]
+        # One event loop per instance: Redis 2.4 is single-threaded.
+        self.event_loops = [
+            Resource(cluster.sim, 1, f"redis-loop:{node.name}")
+            for node in cluster.servers
+        ]
+
+    @classmethod
+    def default_profile(cls) -> ServiceProfile:
+        return ServiceProfile(
+            read_cpu=19e-6,
+            write_cpu=23e-6,
+            scan_base_cpu=35e-6,   # ZRANGEBYLEX on the index zset
+            scan_per_record_cpu=2.5e-6,  # per row of the pipelined MGET
+            client_cpu=18e-6,
+        )
+
+    @classmethod
+    def clients_for(cls, n_servers: int, servers_per_client: int) -> int:
+        """The paper doubled the client machines for Redis (Section 5.1)."""
+        return max(1, math.ceil(2 * n_servers / servers_per_client))
+
+    def connections(self, default_per_node: int) -> int:
+        """Threads shrink with cluster size (connection explosion).
+
+        Every thread needs a socket per shard; the paper reduced the
+        thread count until the connection load was sustainable.  The
+        budget below reproduces the observed regime: full threads at one
+        node, then roughly ``256 / n`` with a floor.
+        """
+        n = self.cluster.n_servers
+        return min(default_per_node * n, max(24, 144 // n))
+
+    def shard_of(self, key: str) -> int:
+        """Shard index for ``key`` via the Jedis ring."""
+        return self._index_of[self.ring.shard_for(key)]
+
+    # -- deployment ----------------------------------------------------------
+
+    def load(self, records: Iterable[Record]) -> None:
+        for record in records:
+            shard = self.shards[self.shard_of(record.key)]
+            if not shard.hset(record.key, dict(record.fields)):
+                self.errors += 1
+
+    def session(self, client_node: Node, index: int) -> "RedisSession":
+        return RedisSession(self, client_node, index)
+
+    def used_memory_per_server(self) -> list[float]:
+        """Estimated resident bytes per instance (OOM analysis)."""
+        return [shard.used_memory_bytes for shard in self.shards]
+
+    # -- server ---------------------------------------------------------------
+
+    def _on_loop(self, shard_index: int, cpu_seconds: float, action=None):
+        """Run ``action`` under the shard's event loop for ``cpu_seconds``."""
+        node = self.cluster.servers[shard_index]
+        loop = self.event_loops[shard_index]
+        request = loop.request()
+        yield request
+        try:
+            yield self.sim.timeout(cpu_seconds / node.spec.core_speed)
+            return action() if action is not None else None
+        finally:
+            loop.release(request)
+
+    def _apply_read(self, shard_index: int, key: str):
+        result = yield from self._on_loop(
+            shard_index, self.profile.read_cpu,
+            lambda: self.shards[shard_index].hgetall(key),
+        )
+        return result
+
+    def _apply_write(self, shard_index: int, key: str,
+                     fields: Mapping[str, str]):
+        def action():
+            ok = self.shards[shard_index].hset(key, fields)
+            if not ok:
+                self.errors += 1
+            return ok
+        result = yield from self._on_loop(
+            shard_index, self.profile.write_cpu, action,
+        )
+        return result
+
+    def _apply_scan(self, shard_index: int, start_key: str, count: int):
+        cpu = (self.profile.scan_base_cpu
+               + count * self.profile.scan_per_record_cpu)
+        result = yield from self._on_loop(
+            shard_index, cpu,
+            lambda: self.shards[shard_index].scan(start_key, count),
+        )
+        return result
+
+    def _apply_delete(self, shard_index: int, key: str):
+        result = yield from self._on_loop(
+            shard_index, self.profile.write_cpu,
+            lambda: self.shards[shard_index].delete(key),
+        )
+        return result
+
+
+class RedisSession(StoreSession):
+    """One YCSB thread holding a ShardedJedis handle."""
+
+    def _call(self, shard_index: int, handler, request_bytes: int,
+              response_bytes: int):
+        store = self.store
+        yield from store.client_cpu(self.client)
+        result = yield from store.cluster.network.rpc(
+            self.client, store.cluster.servers[shard_index],
+            request_bytes, response_bytes, handler,
+        )
+        return result
+
+    def read(self, key: str):
+        store = self.store
+        shard = store.shard_of(key)
+        result = yield from self._call(
+            shard, store._apply_read(shard, key),
+            store.request_bytes(key), store.response_bytes(1),
+        )
+        return result
+
+    def insert(self, key: str, fields: Mapping[str, str]):
+        store = self.store
+        shard = store.shard_of(key)
+        result = yield from self._call(
+            shard, store._apply_write(shard, key, fields),
+            store.request_bytes(key, fields, with_payload=True),
+            store.response_bytes(0),
+        )
+        return result
+
+    def scan(self, start_key: str, count: int):
+        """ZRANGE on the shard owning the start key + pipelined MGET.
+
+        The paper's hand-written sharded client keeps one index zset per
+        shard, so a scan stays on a single instance (two round trips).
+        """
+        store = self.store
+        shard = store.shard_of(start_key)
+        # First round trip: ZRANGEBYLEX on the index.
+        keys = yield from self._call(
+            shard,
+            store._on_loop(
+                shard, store.profile.scan_base_cpu,
+                lambda: store.shards[shard].zrange_from(start_key, count),
+            ),
+            store.request_bytes(start_key),
+            store.response_bytes(0) + count * store.schema.key_length,
+        )
+        # Second round trip: pipelined HGETALLs for the keys found.
+        rows = yield from self._call(
+            shard,
+            store._on_loop(
+                shard,
+                len(keys) * store.profile.scan_per_record_cpu,
+                lambda: store.shards[shard].scan(start_key, count),
+            ),
+            store.request_bytes(start_key) + len(keys) * 30,
+            store.response_bytes(len(keys)),
+        )
+        return rows
+
+    def delete(self, key: str):
+        store = self.store
+        shard = store.shard_of(key)
+        result = yield from self._call(
+            shard, store._apply_delete(shard, key),
+            store.request_bytes(key), store.response_bytes(0),
+        )
+        return result

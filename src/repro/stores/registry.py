@@ -1,0 +1,44 @@
+"""Store registry: name -> deployment factory."""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.sim.cluster import Cluster
+from repro.stores.base import Store
+from repro.stores.cassandra import CassandraStore
+from repro.stores.hbase import HBaseStore
+from repro.stores.mysql import MySQLStore
+from repro.stores.redis import RedisStore
+from repro.stores.voldemort import VoldemortStore
+from repro.stores.voltdb import VoltDBStore
+
+__all__ = ["STORE_CLASSES", "STORE_NAMES", "create_store", "store_class"]
+
+STORE_CLASSES: dict[str, Type[Store]] = {
+    CassandraStore.name: CassandraStore,
+    HBaseStore.name: HBaseStore,
+    VoldemortStore.name: VoldemortStore,
+    RedisStore.name: RedisStore,
+    VoltDBStore.name: VoltDBStore,
+    MySQLStore.name: MySQLStore,
+}
+
+#: The six systems, in the paper's presentation order.
+STORE_NAMES: tuple[str, ...] = (
+    "cassandra", "hbase", "voldemort", "redis", "voltdb", "mysql",
+)
+
+
+def store_class(name: str) -> Type[Store]:
+    """The store class registered under ``name``."""
+    try:
+        return STORE_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(STORE_CLASSES))
+        raise ValueError(f"unknown store {name!r}; known stores: {known}")
+
+
+def create_store(name: str, cluster: Cluster, **kwargs) -> Store:
+    """Deploy the store called ``name`` onto ``cluster``."""
+    return store_class(name)(cluster, **kwargs)

@@ -1,0 +1,208 @@
+"""The Project Voldemort model: a Dynamo-style DHT over BerkeleyDB.
+
+Architecture per Section 4.3, version 0.90.1 semantics:
+
+* *client-side routing*: the client knows the partition map (two
+  partitions per node, as the paper configured) and talks straight to the
+  owner — no coordinator hop, which is why Voldemort shows the lowest and
+  most stable latencies in Figures 4/5;
+* each node persists into an embedded BerkeleyDB JE store — a B+tree
+  whose internal nodes stay cached (75/25 memory split per Section 4.3)
+  while leaf fetches go through the page cache;
+* BDB JE is append-only on write, but updating a leaf requires having it
+  in memory — on the disk-bound cluster every write risks a leaf *read*,
+  which is why Voldemort's Workload W gain on Cluster D (3x) is so much
+  smaller than Cassandra's (26x) in Figure 18;
+* the client library caps its connection pool: the paper had to run far
+  fewer YCSB threads (Section 6, "we had to adjust the number of server
+  side threads and the number of threads per YCSB instance"), which we
+  model as a small per-node connection budget.
+
+The stock YCSB Voldemort client does not implement scans (Section 5.4),
+so ``supports_scans`` is ``False`` and scan workloads skip this store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.hashing import murmur64a
+from repro.sim.cluster import Cluster, Node
+from repro.storage.btree import BPlusTree
+from repro.storage.encoding import encode_bdb_entry
+from repro.storage.record import APM_SCHEMA, Record, RecordSchema
+from repro.stores.base import OpError, ServiceProfile, Store, StoreSession
+from repro.stores.sharding import TokenRing
+
+__all__ = ["VoldemortStore", "VoldemortSession"]
+
+
+class VoldemortStore(Store):
+    """Client-routed DHT with per-node B+tree storage."""
+
+    name = "voldemort"
+    supports_scans = False
+
+    #: Client connection-pool budget per storage node (Section 6).
+    CONNECTIONS_PER_NODE = 4
+    #: Partitions per node, as configured in the paper (Section 4.3).
+    PARTITIONS_PER_NODE = 2
+
+    def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
+                 profile: ServiceProfile | None = None,
+                 btree_order: int = 8):
+        super().__init__(cluster, schema, profile)
+        n = cluster.n_servers
+        self.ring = TokenRing(n * self.PARTITIONS_PER_NODE)
+        self.trees = [BPlusTree(order=btree_order) for __ in range(n)]
+        self.log_bytes = [0 for __ in range(n)]
+        self._entry_bytes = len(encode_bdb_entry(self._sample_record()))
+
+    def _sample_record(self) -> Record:
+        return Record("k" * self.schema.key_length,
+                      {f: "v" * self.schema.field_length
+                       for f in self.schema.field_names})
+
+    @classmethod
+    def default_profile(cls) -> ServiceProfile:
+        return ServiceProfile(
+            read_cpu=95e-6,
+            write_cpu=280e-6,
+            client_cpu=20e-6,
+        )
+
+    #: BDB JE background work per write (log cleaner + checkpointer),
+    #: charged off the commit path: it caps write throughput without
+    #: inflating the acknowledged write latency, matching the paper's
+    #: stable-but-low Voldemort latencies next to its RW/W slow-down.
+    BACKGROUND_WRITE_CPU = 600e-6
+    #: Fraction of writes that must fault the target leaf in from disk
+    #: when it is not cached.  JE is log-structured on write: dirty leaf
+    #: nodes are batched and appended lazily, so roughly every third
+    #: write touches a cold leaf — the reason Voldemort's Workload W
+    #: gain on the disk-bound cluster is only ~3x (Figure 18) while the
+    #: pure-append LSM stores gain 15-26x.
+    WRITE_LEAF_FAULT_PERCENT = 35
+
+    def connections(self, default_per_node: int) -> int:
+        return min(default_per_node,
+                   self.CONNECTIONS_PER_NODE) * self.cluster.n_servers
+
+    def owner_of(self, key: str) -> int:
+        """Node index owning ``key`` (partition -> node, round-robin)."""
+        partition = self.ring.owner_of(key)
+        return partition % self.cluster.n_servers
+
+    # -- deployment ----------------------------------------------------------
+
+    def load(self, records: Iterable[Record]) -> None:
+        for record in records:
+            owner = self.owner_of(record.key)
+            self.trees[owner].put(record.key, dict(record.fields))
+            self.log_bytes[owner] += self._entry_bytes
+
+    def session(self, client_node: Node, index: int) -> "VoldemortSession":
+        return VoldemortSession(self, client_node, index)
+
+    def warm_caches(self) -> None:
+        for owner, tree in enumerate(self.trees):
+            cache = self.cluster.servers[owner].page_cache
+            for page_id in tree.leaf_page_ids():
+                cache.insert(self._leaf_block(owner, page_id))
+
+    def disk_bytes_per_server(self) -> list[int]:
+        # Append-only JE logs at the cleaner's target utilisation.
+        return [int(b / 0.45) for b in self.log_bytes]
+
+    # -- server ---------------------------------------------------------------
+
+    def _leaf_block(self, owner: int, page_id: int) -> tuple:
+        return ("bdb", owner, page_id)
+
+    def _apply_read(self, owner: int, key: str):
+        node = self.cluster.servers[owner]
+        yield from node.cpu(self.profile.read_cpu)
+        value, path = self.trees[owner].get(key)
+        # Internal nodes are pinned in the JE cache; only the leaf page
+        # can miss.
+        leaf = self._leaf_block(owner, path.page_ids[-1])
+        yield from self.cached_read_io(node, [leaf])
+        return dict(value) if value is not None else None
+
+    def _apply_write(self, owner: int, key: str, fields: Mapping[str, str]):
+        node = self.cluster.servers[owner]
+        yield from node.cpu(self.profile.write_cpu)
+        tree = self.trees[owner]
+        was_new, path = tree.put(key, dict(fields))
+        # Read-modify-write, amortised and deferred: JE batches dirty
+        # leaves, so only a fraction of writes fault a cold leaf — and
+        # the fault happens off the commit path (eviction/checkpoint),
+        # consuming disk capacity without stalling the acknowledgement.
+        if murmur64a(key.encode("utf-8"),
+                     seed=0xFA17) % 100 < self.WRITE_LEAF_FAULT_PERCENT:
+            leaf = self._leaf_block(owner, path.page_ids[-1])
+            self.sim.process(self.cached_read_io(node, [leaf]),
+                             name="je-leaf-fault")
+        self.log_bytes[owner] += self._entry_bytes
+        # JE appends the log entry with WRITE_NO_SYNC: buffered, drained
+        # by the log flusher without stalling the commit.
+        yield from node.disk.write(self._entry_bytes, sequential=True,
+                                   sync=False)
+        # Cleaner/checkpointer work happens off the commit path.
+        self.sim.process(node.cpu(self.BACKGROUND_WRITE_CPU),
+                         name="je-cleaner")
+        return True
+
+    def _apply_delete(self, owner: int, key: str):
+        node = self.cluster.servers[owner]
+        yield from node.cpu(self.profile.write_cpu)
+        was_present, path = self.trees[owner].remove(key)
+        leaf = self._leaf_block(owner, path.page_ids[-1])
+        yield from self.cached_read_io(node, [leaf])
+        return was_present
+
+
+class VoldemortSession(StoreSession):
+    """A client connection with built-in (client-side) routing."""
+
+    def _call(self, owner: int, handler, request_bytes: int,
+              response_bytes: int):
+        store = self.store
+        yield from store.client_cpu(self.client)
+        result = yield from store.cluster.network.rpc(
+            self.client, store.cluster.servers[owner],
+            request_bytes, response_bytes, handler,
+        )
+        return result
+
+    def read(self, key: str):
+        store = self.store
+        owner = store.owner_of(key)
+        result = yield from self._call(
+            owner, store._apply_read(owner, key),
+            store.request_bytes(key), store.response_bytes(1),
+        )
+        return result
+
+    def insert(self, key: str, fields: Mapping[str, str]):
+        store = self.store
+        owner = store.owner_of(key)
+        result = yield from self._call(
+            owner, store._apply_write(owner, key, fields),
+            store.request_bytes(key, fields, with_payload=True),
+            store.response_bytes(0),
+        )
+        return result
+
+    def scan(self, start_key: str, count: int):
+        raise OpError("the Voldemort YCSB client does not support scans")
+        yield  # pragma: no cover - generator form
+
+    def delete(self, key: str):
+        store = self.store
+        owner = store.owner_of(key)
+        result = yield from self._call(
+            owner, store._apply_delete(owner, key),
+            store.request_bytes(key), store.response_bytes(0),
+        )
+        return result

@@ -1,0 +1,250 @@
+"""The VoltDB model: partitioned, single-threaded, in-memory executors.
+
+Architecture per Section 4.5, version 2.1.3 semantics:
+
+* the database is split into disjoint partitions, six *sites* per host
+  as the paper configured; each site executes transactions serially on
+  one thread, "without any locking or latching";
+* the unit of work is a stored procedure; reads, writes and inserts on a
+  single key are single-partition transactions, scans are multi-partition
+  transactions that must touch every site (Section 4.5);
+* VoltDB 2.x establishes a *global* transaction order: every transaction
+  passes an initiation round whose cost grows with the number of nodes.
+  Combined with YCSB's synchronous clients this is what makes VoltDB
+  throughput *decrease* beyond one node (Sections 5.1, 6) — the paper
+  notes VoltDB's own benchmarks used asynchronous clients instead.  The
+  ``bench_ablation_voltdb_async`` experiment removes the synchronous
+  round to test that hypothesis.
+
+VoltDB is in-memory (no command logging in the benchmarked setup): it
+does not appear in the disk-usage experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.sim.cluster import Cluster, Node
+from repro.sim.resources import Resource
+from repro.storage.record import APM_SCHEMA, Record, RecordSchema
+from repro.storage.skiplist import SkipList
+from repro.stores.base import ServiceProfile, Store, StoreSession
+from repro.stores.sharding import murmur64a
+
+__all__ = ["VoltDBStore", "VoltDBSession"]
+
+
+class VoltDBStore(Store):
+    """Partitioned in-memory SQL engine with stored-procedure transactions."""
+
+    name = "voltdb"
+    supports_scans = True
+
+    SITES_PER_HOST = 6
+    #: Global ordering cost: fixed initiation work plus per-node fan-out.
+    INITIATION_BASE_CPU = 14e-6
+    INITIATION_PER_NODE_CPU = 9e-6
+    #: Per-site execution of a single-partition procedure.
+    EXECUTION_CPU = 120e-6
+
+    def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
+                 profile: ServiceProfile | None = None,
+                 synchronous_client: bool = True):
+        super().__init__(cluster, schema, profile)
+        self.synchronous_client = synchronous_client
+        n = cluster.n_servers
+        self.n_partitions = n * self.SITES_PER_HOST
+        # partition -> ordered table (VoltDB keeps a tree index on the
+        # primary key; a skip list provides the same ordered access).
+        self.partitions: list[SkipList] = [
+            SkipList(seed=i) for i in range(self.n_partitions)
+        ]
+        self.sites = [
+            Resource(cluster.sim, 1, f"voltdb-site:{i}")
+            for i in range(self.n_partitions)
+        ]
+        # The global transaction initiator/sequencer (only exercised in
+        # multi-node deployments).
+        self.sequencer = Resource(cluster.sim, 1, "voltdb-sequencer")
+
+    @classmethod
+    def default_profile(cls) -> ServiceProfile:
+        return ServiceProfile(
+            read_cpu=120e-6,
+            write_cpu=120e-6,
+            scan_base_cpu=30e-6,       # per-site fragment setup
+            scan_per_record_cpu=2e-6,  # per row collected
+            client_cpu=22e-6,
+        )
+
+    def partition_of(self, key: str) -> int:
+        """Partition column hash, as VoltDB derives from the primary key."""
+        return murmur64a(key.encode("utf-8")) % self.n_partitions
+
+    def node_of_partition(self, partition: int) -> int:
+        """Host index owning ``partition``."""
+        return partition // self.SITES_PER_HOST
+
+    # -- deployment ----------------------------------------------------------
+
+    def load(self, records: Iterable[Record]) -> None:
+        for record in records:
+            partition = self.partition_of(record.key)
+            self.partitions[partition].put(record.key, dict(record.fields))
+
+    def session(self, client_node: Node, index: int) -> "VoltDBSession":
+        return VoltDBSession(self, client_node, index)
+
+    # -- transaction machinery ------------------------------------------------
+
+    def _initiate(self, node: Node, multi_partition: bool = False):
+        """The global ordering round every transaction passes through.
+
+        At one node the initiation is local and cheap; in a multi-node
+        cluster the initiator must agree on a global order with every
+        other host, serialising at the sequencer.
+        """
+        n = self.cluster.n_servers
+        if n == 1 or not self.synchronous_client:
+            yield from node.cpu(self.INITIATION_BASE_CPU)
+            return
+        hold = (self.INITIATION_BASE_CPU
+                + n * self.INITIATION_PER_NODE_CPU) * (2 if multi_partition
+                                                       else 1)
+        yield from self.sequencer.use(hold)
+
+    def _run_on_site(self, partition: int, cpu_seconds: float, action):
+        """Execute a procedure fragment serially on the partition's site."""
+        node = self.cluster.servers[self.node_of_partition(partition)]
+        site = self.sites[partition]
+        request = site.request()
+        yield request
+        try:
+            yield self.sim.timeout(cpu_seconds / node.spec.core_speed)
+            return action()
+        finally:
+            site.release(request)
+
+    def _single_partition(self, partition: int, cpu: float, action):
+        node = self.cluster.servers[self.node_of_partition(partition)]
+        yield from self._initiate(node)
+        result = yield from self._run_on_site(partition, cpu, action)
+        return result
+
+    # -- server ---------------------------------------------------------------
+
+    def _proc_read(self, partition: int, key: str):
+        result = yield from self._single_partition(
+            partition, self.profile.read_cpu,
+            lambda: self.partitions[partition].get(key),
+        )
+        return dict(result) if result is not None else None
+
+    def _proc_write(self, partition: int, key: str,
+                    fields: Mapping[str, str]):
+        def action():
+            table = self.partitions[partition]
+            existing = table.get(key)
+            if existing is not None:
+                merged = dict(existing)
+                merged.update(fields)
+                table.put(key, merged)
+            else:
+                table.put(key, dict(fields))
+            return True
+        result = yield from self._single_partition(
+            partition, self.profile.write_cpu, action,
+        )
+        return result
+
+    def _proc_delete(self, partition: int, key: str):
+        result = yield from self._single_partition(
+            partition, self.profile.write_cpu,
+            lambda: self.partitions[partition].remove(key),
+        )
+        return result
+
+    def _proc_scan(self, coordinator: Node, start_key: str, count: int):
+        """A multi-partition transaction touching every site."""
+        yield from self._initiate(coordinator, multi_partition=True)
+        fragments = []
+        collected: list[list[tuple[str, dict[str, str]]]] = []
+
+        def collect(partition: int):
+            table = self.partitions[partition]
+            rows = [(k, dict(v)) for k, v in table.scan(start_key, count)]
+            collected.append(rows)
+            return None
+
+        per_site_cpu = (self.profile.scan_base_cpu
+                        + count * self.profile.scan_per_record_cpu)
+        for partition in range(self.n_partitions):
+            fragments.append(self.sim.process(self._run_on_site(
+                partition, per_site_cpu,
+                lambda p=partition: collect(p),
+            )))
+        yield self.sim.all_of(fragments)
+        merged = sorted(row for rows in collected for row in rows)
+        return merged[:count]
+
+
+class VoltDBSession(StoreSession):
+    """A synchronous client connected to all hosts (per the docs)."""
+
+    def __init__(self, store: VoltDBStore, client_node: Node, index: int):
+        super().__init__(store, client_node, index)
+        self._rr = index
+
+    def _entry_node(self) -> Node:
+        """Round-robin over hosts, like a client connected to all of them."""
+        self._rr += 1
+        servers = self.store.cluster.servers
+        return servers[self._rr % len(servers)]
+
+    def _call(self, handler, request_bytes: int, response_bytes: int,
+              via: Node | None = None):
+        store = self.store
+        yield from store.client_cpu(self.client)
+        entry = via or self._entry_node()
+        result = yield from store.cluster.network.rpc(
+            self.client, entry, request_bytes, response_bytes, handler,
+        )
+        return result
+
+    def read(self, key: str):
+        store = self.store
+        partition = store.partition_of(key)
+        result = yield from self._call(
+            store._proc_read(partition, key),
+            store.request_bytes(key), store.response_bytes(1),
+        )
+        return result
+
+    def insert(self, key: str, fields: Mapping[str, str]):
+        store = self.store
+        partition = store.partition_of(key)
+        result = yield from self._call(
+            store._proc_write(partition, key, fields),
+            store.request_bytes(key, fields, with_payload=True),
+            store.response_bytes(0),
+        )
+        return result
+
+    def scan(self, start_key: str, count: int):
+        store = self.store
+        entry = self._entry_node()
+        rows = yield from self._call(
+            store._proc_scan(entry, start_key, count),
+            store.request_bytes(start_key), store.response_bytes(count),
+            via=entry,
+        )
+        return rows
+
+    def delete(self, key: str):
+        store = self.store
+        partition = store.partition_of(key)
+        result = yield from self._call(
+            store._proc_delete(partition, key),
+            store.request_bytes(key), store.response_bytes(0),
+        )
+        return result

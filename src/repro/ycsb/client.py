@@ -1,0 +1,128 @@
+"""Closed-loop client threads.
+
+Each thread models one YCSB worker: it owns a store connection, draws
+operations from the workload mix, executes them synchronously, and
+records latencies.  Threads run "as intensively as possible" (Section 3)
+unless a :class:`~repro.ycsb.throttle.Throttle` bounds the offered load.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.record import RecordSchema
+from repro.stores.base import OpError, OpType, StoreSession
+from repro.ycsb.generator import KeySequence, generate_record
+from repro.ycsb.stats import RunStats
+from repro.ycsb.throttle import Throttle
+from repro.ycsb.workload import Workload
+
+__all__ = ["RunControl", "ClientThread"]
+
+
+@dataclass
+class RunControl:
+    """Shared run state: warm-up accounting and the stop condition."""
+
+    warmup_ops: int
+    measured_ops: int
+    completed: int = 0
+    measuring: bool = False
+    done: bool = False
+
+    def __post_init__(self):
+        # With no warm-up the measurement window opens immediately.
+        if self.warmup_ops <= 0:
+            self.measuring = True
+
+    def note_completion(self, stats: RunStats, now: float) -> None:
+        """Count one finished operation; manage the measurement window."""
+        self.completed += 1
+        if not self.measuring and self.completed >= self.warmup_ops:
+            self.measuring = True
+            stats.started_at = now
+        if (self.measuring
+                and self.completed >= self.warmup_ops + self.measured_ops
+                and not self.done):
+            self.done = True
+            stats.finished_at = now
+
+
+class ClientThread:
+    """One synchronous workload-generator thread."""
+
+    def __init__(self, session: StoreSession, workload: Workload,
+                 chooser, sequence: KeySequence, stats: RunStats,
+                 control: RunControl, rng: random.Random,
+                 schema: RecordSchema, throttle: Throttle | None = None):
+        self.session = session
+        self.workload = workload
+        self.chooser = chooser
+        self.sequence = sequence
+        self.stats = stats
+        self.control = control
+        self.rng = rng
+        self.schema = schema
+        self.throttle = throttle
+        self._op_table = workload.op_table()
+
+    def _draw_op(self) -> OpType:
+        roll = self.rng.random()
+        for op, threshold in self._op_table:
+            if roll <= threshold:
+                return op
+        return self._op_table[-1][0]
+
+    def run(self):
+        """Process body: issue operations until the run is complete."""
+        sim = self.session.store.sim
+        while not self.control.done:
+            if self.throttle is not None:
+                yield from self.throttle.acquire()
+                if self.control.done:
+                    break
+            op = self._draw_op()
+            # Workload-loop and driver dispatch work happens before YCSB
+            # starts the operation timer.
+            yield from self.session.store.dispatch_cpu(self.session.client)
+            started = sim.now
+            error = False
+            try:
+                if op is OpType.READ:
+                    key = generate_record(
+                        self.chooser.next_record_number(), self.schema
+                    ).key
+                    yield from self.session.execute(op, key)
+                elif op is OpType.SCAN:
+                    key = generate_record(
+                        self.chooser.next_record_number(), self.schema
+                    ).key
+                    yield from self.session.execute(
+                        op, key, scan_length=self.workload.scan_length
+                    )
+                elif op is OpType.INSERT:
+                    record = generate_record(self.sequence.take(),
+                                             self.schema)
+                    result = yield from self.session.execute(
+                        op, record.key, fields=record.fields
+                    )
+                    error = result is False
+                elif op is OpType.UPDATE:
+                    number = self.chooser.next_record_number()
+                    record = generate_record(number, self.schema)
+                    result = yield from self.session.execute(
+                        op, record.key, fields=record.fields
+                    )
+                    error = result is False
+                else:  # DELETE
+                    key = generate_record(
+                        self.chooser.next_record_number(), self.schema
+                    ).key
+                    yield from self.session.execute(op, key)
+            except OpError:
+                error = True
+            latency = sim.now - started
+            if self.control.measuring and not self.control.done:
+                self.stats.record(op, latency, error)
+            self.control.note_completion(self.stats, sim.now)

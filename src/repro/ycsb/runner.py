@@ -1,0 +1,208 @@
+"""End-to-end benchmark execution.
+
+``run_benchmark`` reproduces the paper's methodology (Section 3) on the
+simulated substrate:
+
+1. provision a fresh cluster (Cluster M or D profile) at the requested
+   node count — every run starts from a clean install, as the paper's
+   scripts did;
+2. load the data set (10 M records per node in the paper; scaled down by
+   default — the hardware profile's RAM scales by the same factor so the
+   memory-bound/disk-bound regime is preserved);
+3. open the configured number of client connections (128 per server node
+   on Cluster M, fewer where a store's client library forced it);
+4. run the workload closed-loop at maximum throughput (or bounded by a
+   target rate for the Figure 15/16 experiments) and report throughput
+   plus per-operation latencies over the measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.cluster import CLUSTER_M, Cluster, ClusterSpec
+from repro.storage.record import APM_SCHEMA, RecordSchema
+from repro.stores.base import OpType, Store
+from repro.stores.registry import store_class
+from repro.ycsb.client import ClientThread, RunControl
+from repro.ycsb.generator import KeySequence, generate_records, make_chooser
+from repro.ycsb.stats import LatencyHistogram, RunStats
+from repro.ycsb.throttle import Throttle
+from repro.ycsb.workload import Workload
+
+__all__ = ["BenchmarkConfig", "BenchmarkResult", "run_benchmark",
+           "scaled_spec"]
+
+#: Records per node the paper loads on Cluster M (Section 3).
+PAPER_RECORDS_PER_NODE = 10_000_000
+
+
+def scaled_spec(spec: ClusterSpec, records_per_node: int,
+                paper_records_per_node: int) -> ClusterSpec:
+    """Shrink node RAM in proportion to the scaled-down data set.
+
+    The paper's regimes (Cluster M: data fits in memory; Cluster D: it
+    does not) depend on the ratio of data to RAM.  Scaling both together
+    preserves the regime while keeping the simulation tractable.
+    """
+    scale = records_per_node / paper_records_per_node
+    if scale >= 1.0:
+        return spec
+    node = replace(spec.node,
+                   ram_bytes=max(1 << 20, int(spec.node.ram_bytes * scale)))
+    return replace(spec, node=node)
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Everything that defines one benchmark data point."""
+
+    store: str
+    workload: Workload
+    n_nodes: int
+    cluster_spec: ClusterSpec = CLUSTER_M
+    records_per_node: int = 100_000
+    paper_records_per_node: int = PAPER_RECORDS_PER_NODE
+    measured_ops: int = 6000
+    warmup_ops: int = 800
+    seed: int = 42
+    #: Bound the offered load (ops/s); ``None`` = maximum throughput.
+    target_throughput: Optional[float] = None
+    store_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.records_per_node < 1:
+            raise ValueError("records_per_node must be >= 1")
+
+
+@dataclass
+class BenchmarkResult:
+    """One benchmark data point: configuration plus measurements."""
+
+    config: BenchmarkConfig
+    stats: RunStats
+    connections: int
+    store_errors: int
+    disk_bytes_per_server: list[int]
+
+    @property
+    def throughput_ops(self) -> float:
+        """Operations per (simulated) second over the measurement window."""
+        return self.stats.throughput
+
+    def _histogram(self, op: OpType) -> LatencyHistogram:
+        return self.stats.histogram(op)
+
+    @property
+    def read_latency(self) -> LatencyHistogram:
+        """Latency histogram of read operations."""
+        return self._histogram(OpType.READ)
+
+    @property
+    def write_latency(self) -> LatencyHistogram:
+        """Latency histogram of insert (write) operations."""
+        merged = LatencyHistogram()
+        for op in (OpType.INSERT, OpType.UPDATE):
+            if op in self.stats.histograms:
+                merged.merge(self.stats.histograms[op])
+        return merged
+
+    @property
+    def scan_latency(self) -> LatencyHistogram:
+        """Latency histogram of scan operations."""
+        return self._histogram(OpType.SCAN)
+
+    def row(self) -> dict:
+        """A flat record for tabular reporting."""
+        return {
+            "store": self.config.store,
+            "workload": self.config.workload.name,
+            "nodes": self.config.n_nodes,
+            "cluster": self.config.cluster_spec.name,
+            "throughput_ops": round(self.throughput_ops, 1),
+            "read_ms": round(self.read_latency.mean * 1000, 3),
+            "write_ms": round(self.write_latency.mean * 1000, 3),
+            "scan_ms": round(self.scan_latency.mean * 1000, 3),
+            "errors": self.stats.errors + self.store_errors,
+        }
+
+
+def _build_store(config: BenchmarkConfig, cluster: Cluster,
+                 schema: RecordSchema) -> Store:
+    cls = store_class(config.store)
+    return cls(cluster, schema=schema, **config.store_kwargs)
+
+
+def run_benchmark(store: str, workload: Workload, n_nodes: int,
+                  config: Optional[BenchmarkConfig] = None,
+                  **overrides) -> BenchmarkResult:
+    """Run one benchmark data point and return its measurements.
+
+    ``store`` is a registry name ("cassandra", "hbase", "voldemort",
+    "redis", "voltdb", "mysql"); extra keyword arguments override
+    :class:`BenchmarkConfig` fields.
+    """
+    if config is None:
+        config = BenchmarkConfig(store=store, workload=workload,
+                                 n_nodes=n_nodes, **overrides)
+    schema = APM_SCHEMA
+
+    cls = store_class(config.store)
+    if workload.has_scans and not cls.supports_scans:
+        raise ValueError(
+            f"{config.store} does not support scans (workload "
+            f"{workload.name}); the paper omits it from scan workloads"
+        )
+
+    spec = scaled_spec(config.cluster_spec, config.records_per_node,
+                       config.paper_records_per_node)
+    n_clients = cls.clients_for(config.n_nodes, spec.servers_per_client)
+    cluster = Cluster(spec, config.n_nodes, n_clients=n_clients)
+    deployed = _build_store(config, cluster, schema)
+
+    total_records = config.records_per_node * config.n_nodes
+    deployed.load(generate_records(total_records, schema))
+    deployed.warm_caches()
+
+    sequence = KeySequence(total_records)
+    stats = RunStats()
+    n_connections = deployed.connections(spec.connections_per_node)
+    # The measurement window must span many "rounds" of the closed loop
+    # (and, for buffering clients, several buffer cycles), or boundary
+    # effects dominate the throughput estimate.
+    min_warmup, min_measured = deployed.min_window(n_connections)
+    warmup_ops = max(config.warmup_ops, min_warmup)
+    measured_ops = max(config.measured_ops, min_measured)
+    control = RunControl(warmup_ops, measured_ops)
+    throttle = (Throttle(cluster.sim, config.target_throughput)
+                if config.target_throughput else None)
+    from repro.sim.rng import RngRegistry
+    rngs = RngRegistry(config.seed)
+    threads = []
+    for i in range(n_connections):
+        client_node = cluster.client_for_connection(i)
+        session = deployed.session(client_node, i)
+        rng = rngs.stream(f"thread-{i}")
+        chooser = make_chooser(workload.distribution, total_records,
+                               sequence, rng)
+        threads.append(ClientThread(
+            session, workload, chooser, sequence, stats, control, rng,
+            schema, throttle,
+        ))
+    processes = [cluster.sim.process(t.run(), name=f"client-{i}")
+                 for i, t in enumerate(threads)]
+    cluster.sim.run(until=cluster.sim.all_of(processes))
+
+    if stats.finished_at == 0.0:
+        stats.finished_at = cluster.sim.now
+
+    return BenchmarkResult(
+        config=config,
+        stats=stats,
+        connections=n_connections,
+        store_errors=deployed.errors,
+        disk_bytes_per_server=deployed.disk_bytes_per_server(),
+    )

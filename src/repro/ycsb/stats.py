@@ -1,0 +1,138 @@
+"""Latency histograms and run summaries.
+
+YCSB reports per-operation-type latency statistics and overall
+throughput; this module provides the same, backed by a logarithmically
+bucketed histogram so percentile queries stay O(buckets) regardless of
+the operation count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.stores.base import OpType
+
+__all__ = ["LatencyHistogram", "RunStats"]
+
+
+class LatencyHistogram:
+    """A log-bucketed latency histogram over (1 us, ~1000 s)."""
+
+    MIN_LATENCY = 1e-6
+    BUCKETS_PER_DECADE = 20
+    N_BUCKETS = 9 * BUCKETS_PER_DECADE  # up to 10^3 seconds
+
+    def __init__(self):
+        self._counts = [0] * self.N_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self.errors = 0
+
+    def _bucket(self, latency_s: float) -> int:
+        if latency_s <= self.MIN_LATENCY:
+            return 0
+        index = int(math.log10(latency_s / self.MIN_LATENCY)
+                    * self.BUCKETS_PER_DECADE)
+        return min(index, self.N_BUCKETS - 1)
+
+    def record(self, latency_s: float, error: bool = False) -> None:
+        """Add one measured operation."""
+        if latency_s < 0:
+            raise ValueError("latency cannot be negative")
+        self.count += 1
+        self.total += latency_s
+        self.min = min(self.min, latency_s)
+        self.max = max(self.max, latency_s)
+        self._counts[self._bucket(latency_s)] += 1
+        if error:
+            self.errors += 1
+
+    @property
+    def mean(self) -> float:
+        """Average latency in seconds (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The latency below which ``p`` percent of operations fall."""
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * p / 100.0)
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= target:
+                # upper edge of the bucket
+                return self.MIN_LATENCY * 10 ** (
+                    (index + 1) / self.BUCKETS_PER_DECADE
+                )
+        return self.max
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram into this one."""
+        for i, c in enumerate(other._counts):
+            self._counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.errors += other.errors
+
+
+@dataclass
+class RunStats:
+    """Everything measured during one benchmark run."""
+
+    histograms: dict[OpType, LatencyHistogram] = field(default_factory=dict)
+    operations: int = 0
+    errors: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    def histogram(self, op: OpType) -> LatencyHistogram:
+        """The histogram for ``op``, created on first use."""
+        if op not in self.histograms:
+            self.histograms[op] = LatencyHistogram()
+        return self.histograms[op]
+
+    def record(self, op: OpType, latency_s: float,
+               error: bool = False) -> None:
+        """Add one completed operation."""
+        self.histogram(op).record(latency_s, error)
+        self.operations += 1
+        if error:
+            self.errors += 1
+
+    @property
+    def duration(self) -> float:
+        """Measured (simulated) wall time of the run."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    @property
+    def throughput(self) -> float:
+        """Operations per simulated second."""
+        return self.operations / self.duration if self.duration > 0 else 0.0
+
+    def latency(self, op: OpType) -> float:
+        """Mean latency for ``op`` (0 when that op never ran)."""
+        histogram = self.histograms.get(op)
+        return histogram.mean if histogram else 0.0
+
+    def summary(self) -> Mapping[str, float]:
+        """A flat dict of the headline numbers."""
+        out: dict[str, float] = {
+            "throughput_ops": self.throughput,
+            "operations": float(self.operations),
+            "errors": float(self.errors),
+            "duration_s": self.duration,
+        }
+        for op, histogram in self.histograms.items():
+            out[f"{op.value}_mean_s"] = histogram.mean
+            out[f"{op.value}_p95_s"] = histogram.percentile(95)
+            out[f"{op.value}_p99_s"] = histogram.percentile(99)
+        return out

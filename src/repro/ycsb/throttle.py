@@ -1,0 +1,36 @@
+"""Target-throughput throttling (Figures 15/16).
+
+Section 5.6 bounds the offered load to 50-95% of each system's previously
+measured maximum throughput.  YCSB implements this with a per-thread
+inter-operation sleep; we model the same with a shared token bucket in
+simulated time: each operation must claim a token, and tokens accrue at
+the target rate.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["Throttle"]
+
+
+class Throttle:
+    """A token bucket granting operation slots at a fixed rate."""
+
+    def __init__(self, sim: Simulator, target_ops_per_s: float):
+        if target_ops_per_s <= 0:
+            raise ValueError("target rate must be positive")
+        self.sim = sim
+        self.target = target_ops_per_s
+        self._interval = 1.0 / target_ops_per_s
+        self._next_slot = 0.0
+        self.granted = 0
+
+    def acquire(self):
+        """Process: wait until the next operation slot is available."""
+        now = self.sim.now
+        slot = max(now, self._next_slot)
+        self._next_slot = slot + self._interval
+        self.granted += 1
+        if slot > now:
+            yield self.sim.timeout(slot - now)

@@ -1,0 +1,116 @@
+"""Workload definitions (Table 1 of the paper).
+
+A workload is a distribution over CRUD-S operations plus scan parameters.
+The paper's five workloads::
+
+    Workload   % Read   % Scans   % Inserts
+    R            95        0          5
+    RW           50        0         50
+    W             1        0         99
+    RS           47       47          6
+    RSW          25       25         50
+
+All access patterns are uniformly distributed; scans fetch 50 records and
+reads fetch all fields (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stores.base import OpType
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_R",
+    "WORKLOAD_RW",
+    "WORKLOAD_W",
+    "WORKLOAD_RS",
+    "WORKLOAD_RSW",
+    "WORKLOAD_WS",
+    "WORKLOADS",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An operation mix over the benchmark key space."""
+
+    name: str
+    read_proportion: float = 0.0
+    insert_proportion: float = 0.0
+    scan_proportion: float = 0.0
+    update_proportion: float = 0.0
+    delete_proportion: float = 0.0
+    #: Records fetched per scan (Section 3: "a scan-length of 50").
+    scan_length: int = 50
+    #: Key access distribution: "uniform", "zipfian" or "latest".
+    distribution: str = "uniform"
+
+    def __post_init__(self):
+        total = (self.read_proportion + self.insert_proportion
+                 + self.scan_proportion + self.update_proportion
+                 + self.delete_proportion)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"workload {self.name!r} proportions sum to {total}, not 1"
+            )
+
+    @property
+    def has_scans(self) -> bool:
+        """Whether the mix contains scan operations."""
+        return self.scan_proportion > 0
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of mutating operations."""
+        return (self.insert_proportion + self.update_proportion
+                + self.delete_proportion)
+
+    def op_table(self) -> list[tuple[OpType, float]]:
+        """Cumulative (op, threshold) table for inverse-CDF sampling."""
+        table: list[tuple[OpType, float]] = []
+        acc = 0.0
+        for op, p in (
+            (OpType.READ, self.read_proportion),
+            (OpType.SCAN, self.scan_proportion),
+            (OpType.INSERT, self.insert_proportion),
+            (OpType.UPDATE, self.update_proportion),
+            (OpType.DELETE, self.delete_proportion),
+        ):
+            if p > 0:
+                acc += p
+                table.append((op, acc))
+        if table:
+            # guard against floating-point shortfall at the top end
+            table[-1] = (table[-1][0], 1.0)
+        return table
+
+
+#: Table 1, row "R": read-intensive web-style mix.
+WORKLOAD_R = Workload("R", read_proportion=0.95, insert_proportion=0.05)
+
+#: Table 1, row "RW": an equal read/write mix.
+WORKLOAD_RW = Workload("RW", read_proportion=0.50, insert_proportion=0.50)
+
+#: Table 1, row "W": the APM ingest mix (99% inserts).
+WORKLOAD_W = Workload("W", read_proportion=0.01, insert_proportion=0.99)
+
+#: Table 1, row "RS": read-intensive with half the reads as scans.
+WORKLOAD_RS = Workload("RS", read_proportion=0.47, scan_proportion=0.47,
+                       insert_proportion=0.06)
+
+#: Table 1, row "RSW": write-heavy with scans.
+WORKLOAD_RSW = Workload("RSW", read_proportion=0.25, scan_proportion=0.25,
+                        insert_proportion=0.50)
+
+#: The write-intensive scan workload the paper tested but omitted
+#: "due to space constraints" (Section 3).
+WORKLOAD_WS = Workload("WS", read_proportion=0.01, scan_proportion=0.09,
+                       insert_proportion=0.90)
+
+#: The paper's five presented workloads, in Table 1 order.
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (WORKLOAD_R, WORKLOAD_RW, WORKLOAD_W, WORKLOAD_RS, WORKLOAD_RSW)
+}

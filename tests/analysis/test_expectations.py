@@ -1,0 +1,113 @@
+"""Unit tests for the paper-expectation checkers (synthetic data)."""
+
+from repro.analysis.expectations import EXPECTATIONS, check_expectations
+from repro.analysis.figures import FigureData
+
+
+def figure(figure_id, series, log_y=False):
+    return FigureData(figure_id, "t", "x", "y", series=series, log_y=log_y)
+
+
+def paperlike_fig3():
+    """Series shaped like the paper's Figure 3."""
+    return figure("fig3", {
+        "cassandra": [(1, 26_000), (4, 70_000), (12, 150_000)],
+        "hbase": [(1, 2_500), (4, 11_000), (12, 32_000)],
+        "voldemort": [(1, 12_000), (4, 46_000), (12, 135_000)],
+        "redis": [(1, 52_000), (4, 100_000), (12, 95_000)],
+        "voltdb": [(1, 45_000), (4, 22_000), (12, 8_000)],
+        "mysql": [(1, 25_000), (4, 70_000), (12, 120_000)],
+    })
+
+
+class TestFig3Checker:
+    def test_paper_shape_passes(self):
+        assert check_expectations(paperlike_fig3()) == []
+
+    def test_detects_voltdb_scaling(self):
+        data = paperlike_fig3()
+        data.series["voltdb"] = [(1, 45_000), (4, 60_000), (12, 90_000)]
+        violations = check_expectations(data)
+        assert any("VoltDB" in v for v in violations)
+
+    def test_detects_wrong_single_node_leader(self):
+        data = paperlike_fig3()
+        data.series["redis"][0] = (1, 10_000)
+        violations = check_expectations(data)
+        assert any("Redis" in v for v in violations)
+
+    def test_detects_sublinear_web_store(self):
+        data = paperlike_fig3()
+        data.series["cassandra"] = [(1, 26_000), (4, 30_000), (12, 40_000)]
+        violations = check_expectations(data)
+        assert any("cassandra" in v for v in violations)
+
+
+class TestFig17Checker:
+    def test_paper_ordering_passes(self):
+        data = figure("fig17", {
+            "raw data": [(1, 0.7), (12, 8.4)],
+            "cassandra": [(1, 2.6), (12, 31.2)],
+            "mysql": [(1, 4.7), (12, 56.6)],
+            "voldemort": [(1, 5.1), (12, 60.9)],
+            "hbase": [(1, 7.0), (12, 83.5)],
+        })
+        assert check_expectations(data) == []
+
+    def test_detects_wrong_order(self):
+        data = figure("fig17", {
+            "raw data": [(1, 0.7), (12, 8.4)],
+            "cassandra": [(1, 8.0), (12, 96.0)],  # heavier than hbase
+            "mysql": [(1, 4.7), (12, 56.6)],
+            "voldemort": [(1, 5.1), (12, 60.9)],
+            "hbase": [(1, 7.0), (12, 83.5)],
+        })
+        assert check_expectations(data)
+
+
+class TestFig18Checker:
+    def test_paper_gains_pass(self):
+        data = figure("fig18", {
+            "cassandra": [(0, 1_500), (1, 5_000), (2, 39_000)],
+            "hbase": [(0, 600), (1, 2_500), (2, 9_000)],
+            "voldemort": [(0, 2_600), (1, 4_000), (2, 8_000)],
+        }, log_y=True)
+        assert check_expectations(data) == []
+
+    def test_detects_missing_write_gain(self):
+        data = figure("fig18", {
+            "cassandra": [(0, 1_500), (1, 1_600), (2, 1_700)],
+            "hbase": [(0, 600), (1, 2_500), (2, 9_000)],
+            "voldemort": [(0, 2_600), (1, 4_000), (2, 8_000)],
+        }, log_y=True)
+        assert any("cassandra" in v for v in check_expectations(data))
+
+
+class TestMisc:
+    def test_unknown_figure_has_no_checker(self):
+        data = figure("fig7", {"cassandra": [(1, 1)]})
+        assert check_expectations(data) == []
+
+    def test_every_checker_is_callable(self):
+        for checker in EXPECTATIONS.values():
+            assert callable(checker)
+
+    def test_fig13_checker(self):
+        good = figure("fig13", {
+            "mysql": [(1, 7), (4, 4000), (12, 13000)],
+            "cassandra": [(1, 16), (4, 21), (12, 30)],
+            "hbase": [(1, 57), (4, 57), (12, 57)],
+            "redis": [(1, 15), (4, 1.2), (12, 0.8)],
+            "voltdb": [(1, 10), (4, 38), (12, 275)],
+        }, log_y=True)
+        assert check_expectations(good) == []
+
+    def test_fig15_checker(self):
+        good = figure("fig15", {
+            "cassandra": [(50, 20.0), (70, 45.0), (100, 100.0)],
+        })
+        assert check_expectations(good) == []
+        bad = figure("fig15", {
+            "cassandra": [(50, 120.0), (70, 110.0), (100, 100.0)],
+        })
+        assert check_expectations(bad)

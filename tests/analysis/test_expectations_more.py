@@ -1,0 +1,132 @@
+"""Synthetic paper-shaped data for the remaining expectation checkers."""
+
+from repro.analysis.expectations import check_expectations
+from repro.analysis.figures import FigureData
+
+
+def figure(figure_id, series, log_y=True):
+    return FigureData(figure_id, "t", "x", "y", series=series, log_y=log_y)
+
+
+class TestLatencyCheckers:
+    def test_fig4_paper_shape_passes(self):
+        data = figure("fig4", {
+            "cassandra": [(1, 4.9), (4, 7.0), (12, 9.7)],
+            "hbase": [(1, 43.0), (4, 43.0), (12, 40.0)],
+            "voldemort": [(1, 0.32), (4, 0.32), (12, 0.32)],
+            "redis": [(1, 2.4), (4, 0.3), (12, 0.24)],
+            "voltdb": [(1, 2.6), (4, 25.6), (12, 174.0)],
+            "mysql": [(1, 5.2), (4, 0.6), (12, 0.57)],
+        })
+        assert check_expectations(data) == []
+
+    def test_fig4_detects_rising_sharded_latency(self):
+        data = figure("fig4", {
+            "cassandra": [(1, 4.9), (12, 9.7)],
+            "hbase": [(1, 43.0), (12, 40.0)],
+            "voldemort": [(1, 0.32), (12, 0.32)],
+            "redis": [(1, 0.3), (12, 2.4)],  # wrong direction
+            "voltdb": [(1, 2.6), (12, 174.0)],
+            "mysql": [(1, 5.2), (12, 0.57)],
+        })
+        assert any("redis" in v for v in check_expectations(data))
+
+    def test_fig5_paper_shape_passes(self):
+        data = figure("fig5", {
+            "cassandra": [(1, 4.9), (12, 9.5)],
+            "hbase": [(1, 0.03), (12, 0.03)],
+            "voldemort": [(1, 0.5), (12, 0.5)],
+            "redis": [(1, 2.4), (12, 0.25)],
+            "voltdb": [(1, 2.5), (12, 174.0)],
+            "mysql": [(1, 5.2), (12, 0.6)],
+        })
+        assert check_expectations(data) == []
+
+    def test_fig5_detects_wrong_floor(self):
+        data = figure("fig5", {
+            "cassandra": [(1, 4.9), (12, 9.5)],
+            "hbase": [(1, 3.0), (12, 3.0)],  # not lowest any more
+            "voldemort": [(1, 0.5), (12, 0.5)],
+            "redis": [(1, 2.4), (12, 0.25)],
+            "voltdb": [(1, 2.5), (12, 174.0)],
+            "mysql": [(1, 5.2), (12, 0.6)],
+        })
+        assert check_expectations(data)
+
+    def test_fig10_requires_hbase_read_explosion(self):
+        good = figure("fig10", {"hbase": [(1, 540.0), (12, 585.0)]})
+        assert check_expectations(good) == []
+        bad = figure("fig10", {"hbase": [(1, 40.0), (12, 45.0)]})
+        assert check_expectations(bad)
+
+    def test_fig11_requires_stable_voldemort(self):
+        good = figure("fig11", {"voldemort": [(1, 0.5), (12, 0.55)]})
+        assert check_expectations(good) == []
+        bad = figure("fig11", {"voldemort": [(1, 0.5), (12, 5.0)]})
+        assert check_expectations(bad)
+
+
+class TestThroughputCheckers:
+    def _rw(self, cassandra_last=160_000):
+        return figure("fig6", {
+            "cassandra": [(1, 28_000), (4, 75_000), (12, cassandra_last)],
+            "hbase": [(1, 4_000), (4, 16_000), (12, 48_000)],
+            "voldemort": [(1, 8_700), (4, 35_000), (12, 104_000)],
+            "redis": [(1, 47_600), (4, 95_000), (12, 92_000)],
+            "voltdb": [(1, 49_000), (4, 20_000), (12, 8_200)],
+            "mysql": [(1, 23_000), (4, 60_000), (12, 128_000)],
+        }, log_y=False)
+
+    def test_fig6_paper_shape_passes(self):
+        assert check_expectations(self._rw()) == []
+
+    def test_fig6_detects_cassandra_losing(self):
+        assert check_expectations(self._rw(cassandra_last=90_000))
+
+    def test_fig14_paper_shape_passes(self):
+        data = figure("fig14", {
+            "cassandra": [(1, 12_500), (4, 38_700), (12, 77_100)],
+            "hbase": [(1, 3_300), (4, 13_400), (12, 40_100)],
+            "redis": [(1, 17_700), (4, 60_300), (12, 59_400)],
+            "voltdb": [(1, 20_900), (4, 16_100), (12, 6_500)],
+            "mysql": [(1, 2_100), (4, 610), (12, 590)],
+        }, log_y=False)
+        assert check_expectations(data) == []
+
+    def test_fig14_detects_healthy_mysql(self):
+        data = figure("fig14", {
+            "cassandra": [(1, 12_500), (4, 38_700), (12, 77_100)],
+            "hbase": [(1, 3_300), (4, 13_400), (12, 40_100)],
+            "redis": [(1, 17_700), (4, 60_300), (12, 59_400)],
+            "voltdb": [(1, 20_900), (4, 16_100), (12, 6_500)],
+            "mysql": [(1, 18_000), (4, 40_000), (12, 70_000)],
+        }, log_y=False)
+        assert any("mysql" in v.lower() for v in check_expectations(data))
+
+    def test_fig12_detects_mysql_scaling(self):
+        data = figure("fig12", {
+            "cassandra": [(1, 8_300), (12, 52_500)],
+            "hbase": [(1, 2_500), (12, 29_400)],
+            "redis": [(1, 11_800), (12, 45_900)],
+            "voltdb": [(1, 14_000), (12, 5_600)],
+            "mysql": [(1, 18_200), (12, 30_000)],  # must not scale!
+        }, log_y=False)
+        assert any("mysql" in v.lower() for v in check_expectations(data))
+
+
+class TestClusterDCheckers:
+    def test_fig19_detects_wrong_latency_order(self):
+        data = figure("fig19", {
+            "cassandra": [(0, 10.0), (1, 10.0), (2, 8.0)],
+            "hbase": [(0, 200.0), (1, 200.0), (2, 260.0)],
+            "voldemort": [(0, 30.0), (1, 30.0), (2, 190.0)],  # > cassandra
+        })
+        assert check_expectations(data)
+
+    def test_fig20_detects_slow_hbase_writes(self):
+        data = figure("fig20", {
+            "cassandra": [(0, 0.8), (1, 0.8), (2, 1.0)],
+            "hbase": [(0, 0.04), (1, 0.7), (2, 45.0)],  # too slow
+            "voldemort": [(0, 0.6), (1, 0.6), (2, 0.7)],
+        })
+        assert check_expectations(data)

@@ -1,0 +1,55 @@
+"""Unit tests for figure export/import."""
+
+import json
+
+from repro.analysis.export import (
+    figure_to_csv,
+    figure_to_json,
+    load_figure,
+    write_figure,
+)
+from repro.analysis.figures import FigureData
+
+
+def sample():
+    return FigureData(
+        "fig3", "Throughput for Workload R", "Number of Nodes",
+        "Throughput (Operations/sec)", log_y=False,
+        series={"cassandra": [(1.0, 25_860.7), (4.0, 72_156.8)]},
+        notes=["quick profile"],
+    )
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        paths = write_figure(sample(), tmp_path)
+        json_path = [p for p in paths if p.suffix == ".json"][0]
+        restored = load_figure(json_path)
+        assert restored == sample()
+
+    def test_layout(self):
+        payload = json.loads(figure_to_json(sample()))
+        assert payload["figure_id"] == "fig3"
+        assert payload["series"]["cassandra"] == [[1.0, 25860.7],
+                                                  [4.0, 72156.8]]
+        assert payload["notes"] == ["quick profile"]
+
+
+class TestCsv:
+    def test_rows(self):
+        lines = figure_to_csv(sample()).strip().splitlines()
+        assert lines[0] == ("series,Number of Nodes,"
+                            "Throughput (Operations/sec)")
+        assert lines[1] == "cassandra,1.0,25860.7"
+        assert len(lines) == 3
+
+
+class TestWrite:
+    def test_writes_both_formats(self, tmp_path):
+        paths = write_figure(sample(), tmp_path)
+        assert {p.suffix for p in paths} == {".json", ".csv"}
+        assert all(p.exists() for p in paths)
+
+    def test_json_only(self, tmp_path):
+        paths = write_figure(sample(), tmp_path, formats=("json",))
+        assert len(paths) == 1

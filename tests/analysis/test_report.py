@@ -1,0 +1,58 @@
+"""Unit tests for ASCII rendering."""
+
+from repro.analysis.figures import FigureData
+from repro.analysis.report import render_chart, render_figure, render_table
+
+
+def sample():
+    return FigureData(
+        "fig3", "Throughput for Workload R", "Number of Nodes",
+        "Throughput (Operations/sec)",
+        series={
+            "cassandra": [(1.0, 26_000.0), (12.0, 150_000.0)],
+            "redis": [(1.0, 52_000.0), (12.0, 95_000.0)],
+        },
+        notes=["synthetic"],
+    )
+
+
+class TestRenderTable:
+    def test_contains_header_and_values(self):
+        out = render_table(sample())
+        assert "fig3: Throughput for Workload R" in out
+        assert "cassandra" in out
+        assert "26,000" in out
+        assert "150,000" in out
+        assert "note: synthetic" in out
+
+    def test_missing_points_shown_as_dash(self):
+        data = sample()
+        data.series["partial"] = [(1.0, 5.0)]
+        out = render_table(data)
+        assert "-" in out.splitlines()[-2]
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        out = render_chart(sample())
+        assert "A=cassandra" in out
+        assert "B=redis" in out
+        assert "A" in out.replace("A=cassandra", "")
+
+    def test_log_scale_skips_nonpositive(self):
+        data = sample()
+        data.log_y = True
+        data.series["zero"] = [(1.0, 0.0)]
+        out = render_chart(data)  # must not crash
+        assert "C=zero" in out
+
+    def test_empty_series(self):
+        data = FigureData("x", "t", "x", "y", series={"a": []})
+        assert render_chart(data) == "(no data)"
+
+
+class TestRenderFigure:
+    def test_with_and_without_chart(self):
+        short = render_figure(sample(), chart=False)
+        long = render_figure(sample(), chart=True)
+        assert len(long) > len(short)

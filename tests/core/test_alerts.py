@@ -1,0 +1,152 @@
+"""Unit tests for the Section 2 alerting triggers."""
+
+import pytest
+
+from repro.core.agents import AgentFleet
+from repro.core.alerts import (
+    AlertEngine,
+    Comparison,
+    Notification,
+    TriggerRule,
+)
+from repro.core.metrics import Measurement, MetricId
+from repro.core.queries import MonitoringQueries
+from repro.sim.cluster import CLUSTER_M, Cluster
+from repro.stores.registry import create_store
+
+
+def make_engine(measurements):
+    cluster = Cluster(CLUSTER_M, 1)
+    store = create_store("redis", cluster)
+    store.load(m.to_record() for m in measurements)
+    session = store.session(cluster.clients[0], 0)
+    queries = MonitoringQueries(session, interval_s=10)
+    return store, AlertEngine(queries)
+
+
+def series(metric, values, start=1000, interval=10):
+    return [
+        Measurement(metric, value=v, minimum=v - 1, maximum=v + 1,
+                    timestamp=start + i * interval, duration=interval)
+        for i, v in enumerate(values)
+    ]
+
+
+@pytest.fixture
+def metric():
+    return MetricId("hostX", "agent0", "WebServer", "ConnectionCount")
+
+
+class TestTriggerRule:
+    def test_validation(self, metric):
+        with pytest.raises(ValueError):
+            TriggerRule("r", (), threshold=1.0)
+        with pytest.raises(ValueError):
+            TriggerRule("r", (metric,), threshold=1.0, aggregate="sum")
+        with pytest.raises(ValueError):
+            TriggerRule("r", (metric,), threshold=1.0, clear_ratio=0.0)
+
+    def test_comparisons(self):
+        assert Comparison.ABOVE.breached(10, 5)
+        assert not Comparison.ABOVE.breached(5, 5)
+        assert Comparison.BELOW.breached(1, 5)
+
+    def test_clear_threshold_hysteresis(self, metric):
+        above = TriggerRule("a", (metric,), threshold=100,
+                            clear_ratio=0.8)
+        assert above.clear_threshold() == pytest.approx(80)
+        below = TriggerRule("b", (metric,), threshold=100,
+                            comparison=Comparison.BELOW, clear_ratio=0.8)
+        assert below.clear_threshold() == pytest.approx(125)
+
+
+class TestAlertEngine:
+    def test_fires_on_breach(self, metric):
+        store, engine = make_engine(series(metric, [50, 60, 200], 1000))
+        engine.add_rule(TriggerRule("conns", (metric,), threshold=100,
+                                    window_s=60))
+        emitted = store.sim.run(until=store.sim.process(
+            engine.evaluate(now=1020)))
+        assert [n.kind for n in emitted] == ["fire"]
+        assert engine.is_firing("conns")
+
+    def test_does_not_refire_while_breached(self, metric):
+        store, engine = make_engine(series(metric, [200, 210, 220], 1000))
+        engine.add_rule(TriggerRule("conns", (metric,), threshold=100,
+                                    window_s=60))
+        sim = store.sim
+        first = sim.run(until=sim.process(engine.evaluate(now=1020)))
+        second = sim.run(until=sim.process(engine.evaluate(now=1020)))
+        assert len(first) == 1
+        assert second == []
+
+    def test_clears_with_hysteresis(self, metric):
+        # breach at t<=1020; healthy afterwards
+        values = [200, 200, 200, 50, 50, 50, 50, 50, 50, 50]
+        store, engine = make_engine(series(metric, values, 1000))
+        engine.add_rule(TriggerRule("conns", (metric,), threshold=100,
+                                    window_s=20, clear_ratio=0.9))
+        sim = store.sim
+        fired = sim.run(until=sim.process(engine.evaluate(now=1020)))
+        assert [n.kind for n in fired] == ["fire"]
+        cleared = sim.run(until=sim.process(engine.evaluate(now=1080)))
+        assert [n.kind for n in cleared] == ["clear"]
+        assert not engine.is_firing("conns")
+
+    def test_hysteresis_holds_in_the_band(self, metric):
+        # value retreats to 95: below the 100 threshold but above the
+        # 90 clear threshold -> stays firing
+        values = [200, 200, 200, 95, 95, 95, 95, 95, 95, 95]
+        store, engine = make_engine(series(metric, values, 1000))
+        engine.add_rule(TriggerRule("conns", (metric,), threshold=100,
+                                    window_s=20, clear_ratio=0.9))
+        sim = store.sim
+        sim.run(until=sim.process(engine.evaluate(now=1020)))
+        held = sim.run(until=sim.process(engine.evaluate(now=1080)))
+        assert held == []
+        assert engine.is_firing("conns")
+
+    def test_below_rule(self, metric):
+        store, engine = make_engine(series(metric, [50, 2, 2], 1000))
+        engine.add_rule(TriggerRule(
+            "starved", (metric,), threshold=5,
+            comparison=Comparison.BELOW, window_s=10, aggregate="avg"))
+        emitted = store.sim.run(until=store.sim.process(
+            engine.evaluate(now=1020)))
+        assert [n.kind for n in emitted] == ["fire"]
+
+    def test_missing_data_never_fires(self, metric):
+        store, engine = make_engine([])
+        engine.add_rule(TriggerRule("conns", (metric,), threshold=100))
+        emitted = store.sim.run(until=store.sim.process(
+            engine.evaluate(now=5000)))
+        assert emitted == []
+
+    def test_duplicate_rule_names_rejected(self, metric):
+        __, engine = make_engine([])
+        engine.add_rule(TriggerRule("r", (metric,), threshold=1))
+        with pytest.raises(ValueError):
+            engine.add_rule(TriggerRule("r", (metric,), threshold=2))
+
+    def test_notifications_accumulate(self, metric):
+        store, engine = make_engine(series(metric, [200] * 3, 1000))
+        engine.add_rule(TriggerRule("conns", (metric,), threshold=100,
+                                    window_s=60))
+        store.sim.run(until=store.sim.process(engine.evaluate(now=1020)))
+        assert len(engine.notifications) == 1
+        assert isinstance(engine.notifications[0], Notification)
+
+    def test_group_rule_over_fleet(self):
+        """Rule over many hosts' metrics (the paper's query 2 shape)."""
+        fleet = AgentFleet(n_hosts=3, metrics_per_host=4, interval_s=10)
+        cluster = Cluster(CLUSTER_M, 1)
+        store = create_store("redis", cluster)
+        store.load(m.to_record() for m in fleet.stream(1000, 6))
+        session = store.session(cluster.clients[0], 0)
+        engine = AlertEngine(MonitoringQueries(session, interval_s=10))
+        metrics = tuple(a.metrics[0] for a in fleet.agents)
+        engine.add_rule(TriggerRule("fleet-avg", metrics, threshold=0.0,
+                                    window_s=60, aggregate="avg"))
+        emitted = store.sim.run(until=store.sim.process(
+            engine.evaluate(now=1050)))
+        assert [n.kind for n in emitted] == ["fire"]  # avg > 0

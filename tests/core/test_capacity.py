@@ -1,0 +1,68 @@
+"""Unit tests for Section 8's capacity arithmetic."""
+
+import pytest
+
+from repro.core.capacity import (
+    CapacityPlan,
+    plan_capacity,
+    storage_budget_nodes,
+)
+
+
+class TestPaperExample:
+    """'for 12 monitoring nodes, ... around 240 [monitored nodes]. If
+    agents on each report 10K measurements every 10 seconds, the total
+    number of inserts per second is 240K.'"""
+
+    def test_required_rate_is_240k(self):
+        plan = plan_capacity(monitored_nodes=240, metrics_per_node=10_000,
+                             interval_s=10, storage_nodes=12,
+                             store_throughput_per_node=15_000)
+        assert plan.required_inserts_per_s == 240_000
+
+    def test_cassandra_on_cluster_m_falls_slightly_short(self):
+        # Workload W at 12 nodes sustains ~180K inserts/s in our
+        # reproduction: "higher than the maximum throughput that
+        # Cassandra achieves ... but not drastically".
+        plan = plan_capacity(240, 10_000, 10, 12,
+                             store_throughput_per_node=15_000)
+        assert not plan.sustainable
+        assert 1.0 < plan.utilisation < 2.0
+
+    def test_five_percent_budget(self):
+        assert storage_budget_nodes(240, 0.05) == 12
+
+
+class TestPlanCapacity:
+    def test_sustainable_when_overprovisioned(self):
+        plan = plan_capacity(10, 100, 10, 4,
+                             store_throughput_per_node=1000)
+        assert plan.sustainable
+        assert plan.utilisation == pytest.approx(0.025)
+        assert plan.headroom_factor() == pytest.approx(40.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_capacity(-1, 10, 10, 1, 100)
+        with pytest.raises(ValueError):
+            plan_capacity(1, 10, 0, 1, 100)
+        with pytest.raises(ValueError):
+            plan_capacity(1, 10, 10, 0, 100)
+        with pytest.raises(ValueError):
+            storage_budget_nodes(100, 1.5)
+
+    def test_zero_throughput_tier(self):
+        plan = plan_capacity(10, 100, 10, 1, 0)
+        assert not plan.sustainable
+        assert plan.utilisation == float("inf")
+
+    def test_zero_required_rate(self):
+        plan = plan_capacity(0, 0, 10, 1, 100)
+        assert plan.sustainable
+        assert plan.headroom_factor() == float("inf")
+
+    def test_plan_is_frozen(self):
+        plan = plan_capacity(1, 1, 1, 1, 1)
+        assert isinstance(plan, CapacityPlan)
+        with pytest.raises(AttributeError):
+            plan.storage_nodes = 2

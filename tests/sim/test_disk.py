@@ -1,0 +1,108 @@
+"""Unit tests for the disk and page-cache models."""
+
+import pytest
+
+from repro.sim.disk import Disk, DiskSpec, PageCache
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def disk(sim):
+    return Disk(sim, DiskSpec(seq_bandwidth_bytes_per_s=100e6,
+                              seek_time_s=0.004,
+                              rotational_latency_s=0.002,
+                              queue_depth=2))
+
+
+class TestDiskSpec:
+    def test_sequential_access_pays_bandwidth_only(self):
+        spec = DiskSpec(seq_bandwidth_bytes_per_s=100e6)
+        assert spec.access_time(1_000_000, sequential=True) == (
+            pytest.approx(0.01))
+
+    def test_random_access_adds_seek_and_rotation(self):
+        spec = DiskSpec(seq_bandwidth_bytes_per_s=100e6, seek_time_s=0.004,
+                        rotational_latency_s=0.002)
+        assert spec.access_time(4096, sequential=False) == pytest.approx(
+            0.006 + 4096 / 100e6)
+
+
+class TestDisk:
+    def test_random_read_duration(self, sim, disk):
+        sim.run(until=sim.process(disk.read(4096)))
+        assert sim.now == pytest.approx(0.006 + 4096 / 100e6)
+        assert disk.reads == 1
+        assert disk.bytes_read == 4096
+
+    def test_async_write_is_nearly_free(self, sim, disk):
+        sim.run(until=sim.process(disk.write(10**6, sync=False)))
+        assert sim.now < 1e-4
+        assert disk.bytes_written == 10**6
+
+    def test_sync_write_pays_transfer_plus_platter_commit(self, sim, disk):
+        sim.run(until=sim.process(disk.write(10**6, sequential=True,
+                                             sync=True)))
+        # fsync semantics: transfer plus half a rotation
+        assert sim.now == pytest.approx(0.01 + 0.002)
+
+    def test_queue_depth_bounds_concurrency(self, sim, disk):
+        def reader():
+            yield from disk.read(4096)
+
+        done = sim.all_of([sim.process(reader()) for __ in range(4)])
+        sim.run(until=done)
+        one_io = 0.006 + 4096 / 100e6
+        # depth 2: four IOs take two rounds.
+        assert sim.now == pytest.approx(2 * one_io)
+
+
+class TestPageCache:
+    def test_miss_then_hit(self):
+        cache = PageCache(capacity_bytes=8192, block_size=4096)
+        assert cache.access("b1") is False
+        assert cache.access("b1") is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = PageCache(capacity_bytes=8192, block_size=4096)  # 2 blocks
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a
+        cache.access("c")  # evicts b
+        assert cache.access("a") is True
+        assert cache.access("b") is False
+
+    def test_insert_does_not_count_stats(self):
+        cache = PageCache(capacity_bytes=8192, block_size=4096)
+        cache.insert("x")
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.access("x") is True
+
+    def test_zero_capacity_never_hits(self):
+        cache = PageCache(capacity_bytes=0)
+        cache.insert("x")
+        assert cache.access("x") is False
+        assert len(cache) == 0
+
+    def test_insert_respects_capacity(self):
+        cache = PageCache(capacity_bytes=4096 * 3, block_size=4096)
+        for i in range(10):
+            cache.insert(f"b{i}")
+        assert len(cache) == 3
+
+    def test_evict_all(self):
+        cache = PageCache(capacity_bytes=8192, block_size=4096)
+        cache.insert("x")
+        cache.evict_all()
+        assert cache.access("x") is False
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            PageCache(1024, block_size=0)

@@ -1,0 +1,42 @@
+"""Property tests for the quorum-wait (KOf) combinator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1,
+                max_size=12),
+       st.data())
+def test_property_kof_fires_at_kth_smallest_delay(delays, data):
+    """KOf(events, k) fires exactly when the k-th fastest completes."""
+    k = data.draw(st.integers(min_value=1, max_value=len(delays)))
+    sim = Simulator()
+
+    def proc(delay):
+        yield sim.timeout(delay)
+
+    events = [sim.process(proc(d)) for d in delays]
+    sim.run(until=sim.k_of(events, k))
+    expected = sorted(delays)[k - 1]
+    assert abs(sim.now - expected) < 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=2,
+                max_size=8))
+def test_property_kof_is_monotone_in_k(delays):
+    """Waiting for more acknowledgements never finishes earlier."""
+    times = []
+    for k in range(1, len(delays) + 1):
+        sim = Simulator()
+
+        def proc(delay):
+            yield sim.timeout(delay)
+
+        events = [sim.process(proc(d)) for d in delays]
+        sim.run(until=sim.k_of(events, k))
+        times.append(sim.now)
+    assert times == sorted(times)

@@ -1,0 +1,85 @@
+"""Unit tests for the switched-network model."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import GIGABIT, Network, NetworkSpec
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def net(sim):
+    network = Network(sim)
+    network.attach("a")
+    network.attach("b")
+    network.attach("c")
+    return network
+
+
+class TestNetworkSpec:
+    def test_wire_time_includes_header(self):
+        spec = NetworkSpec(bandwidth_bytes_per_s=1e6, latency_s=0,
+                           per_message_overhead_bytes=100)
+        assert spec.wire_time(900) == pytest.approx(1e-3)
+
+    def test_gigabit_defaults(self):
+        assert GIGABIT.bandwidth_bytes_per_s == 125_000_000.0
+        # A 75-byte record takes ~1.1 us on the wire.
+        assert GIGABIT.wire_time(75) == pytest.approx(1.128e-6, rel=1e-3)
+
+
+class TestTransfer:
+    def test_transfer_takes_serialisation_plus_latency(self, sim, net):
+        nbytes = 1000
+        sim.run(until=sim.process(net.transfer("a", "b", nbytes)))
+        expected = 2 * GIGABIT.wire_time(nbytes) + GIGABIT.latency_s
+        assert sim.now == pytest.approx(expected)
+
+    def test_loopback_is_cheap(self, sim, net):
+        sim.run(until=sim.process(net.transfer("a", "a", 10_000)))
+        assert sim.now < GIGABIT.latency_s
+
+    def test_counters(self, sim, net):
+        sim.run(until=sim.process(net.transfer("a", "b", 500)))
+        assert net.messages_sent == 1
+        assert net.bytes_sent == 500
+
+    def test_egress_serialises_concurrent_sends(self, sim, net):
+        nbytes = 125_000  # 1 ms of wire time
+
+        def send():
+            yield from net.transfer("a", "b", nbytes)
+
+        done = sim.all_of([sim.process(send()) for __ in range(3)])
+        sim.run(until=done)
+        # Three sends serialise on a's egress NIC: >= 3 ms just there.
+        assert sim.now >= 3 * GIGABIT.wire_time(nbytes)
+
+
+class TestRpc:
+    def test_round_trip_returns_handler_value(self, sim, net):
+        def handler():
+            yield sim.timeout(0.001)
+            return {"answer": 42}
+
+        result = sim.run(until=sim.process(
+            net.rpc("a", "b", 100, 200, handler())))
+        assert result == {"answer": 42}
+        floor = 2 * GIGABIT.latency_s + 0.001
+        assert sim.now >= floor
+
+    def test_rpc_accepts_nodes_with_name_attribute(self, sim, net):
+        class FakeNode:
+            name = "c"
+
+        def handler():
+            return "ok"
+            yield
+
+        result = sim.run(until=sim.process(
+            net.rpc(FakeNode(), "b", 10, 10, handler())))
+        assert result == "ok"

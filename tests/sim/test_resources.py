@@ -1,0 +1,104 @@
+"""Unit tests for queueing resources."""
+
+import pytest
+
+from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.resources import Resource
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, 0)
+
+    def test_grants_up_to_capacity_immediately(self, sim):
+        resource = Resource(sim, 2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        sim.run()
+        assert first.processed and second.processed
+        assert not third.triggered
+        assert resource.in_use == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self, sim):
+        resource = Resource(sim, 1)
+        grants = []
+
+        def worker(i):
+            req = resource.request()
+            yield req
+            grants.append(i)
+            yield sim.timeout(1.0)
+            resource.release(req)
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert grants == [0, 1, 2]
+        assert sim.now == 3.0
+
+    def test_release_ungranted_raises(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        waiting = resource.request()
+        with pytest.raises(SimulationError):
+            resource.release(waiting)
+
+    def test_use_helper_holds_for_duration(self, sim):
+        resource = Resource(sim, 1)
+
+        def worker():
+            yield sim.process(resource.use(2.5))
+
+        done = sim.all_of([sim.process(worker()) for __ in range(2)])
+        sim.run(until=done)
+        assert sim.now == 5.0
+        assert resource.in_use == 0
+
+
+class TestResourceStats:
+    def test_wait_time_accounting(self, sim):
+        resource = Resource(sim, 1)
+
+        def worker():
+            yield sim.process(resource.use(1.0))
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        # second request waited exactly 1 second
+        assert resource.stats.requests == 2
+        assert resource.stats.total_wait_time == pytest.approx(1.0)
+        assert resource.stats.mean_wait_time == pytest.approx(0.5)
+
+    def test_busy_time_and_mean_in_use(self, sim):
+        resource = Resource(sim, 2)
+
+        def worker():
+            yield sim.process(resource.use(2.0))
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        resource._account()
+        assert resource.stats.busy_time == pytest.approx(2.0)
+        assert resource.stats.mean_in_use(sim.now) == pytest.approx(2.0)
+
+    def test_peak_queue_length(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        for __ in range(4):
+            resource.request()
+        assert resource.stats.peak_queue_length == 4
+
+    def test_empty_stats(self, sim):
+        resource = Resource(sim, 1)
+        assert resource.stats.mean_wait_time == 0.0
+        assert resource.stats.mean_in_use(0.0) == 0.0

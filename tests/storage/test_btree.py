@@ -1,0 +1,150 @@
+"""Unit and property tests for the B+tree engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        value, path = tree.get("a")
+        assert value is None
+        assert path.depth == 1
+        assert len(tree) == 0
+
+    def test_put_get(self):
+        tree = BPlusTree(order=4)
+        was_new, __ = tree.put("b", 2)
+        assert was_new
+        was_new, __ = tree.put("b", 20)
+        assert not was_new
+        value, __ = tree.get("b")
+        assert value == 20
+        assert len(tree) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=3)
+
+    def test_split_grows_height(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.put(i, i)
+        assert tree.height > 1
+        assert tree.n_leaves > 1
+        assert tree.n_pages == tree.n_leaves + tree.n_internal
+
+    def test_path_depth_equals_height(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.put(i, i)
+        for key in (0, 57, 199):
+            __, path = tree.get(key)
+            assert path.depth == tree.height
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = random.Random(4).sample(range(1000), 300)
+        for key in keys:
+            tree.put(key, -key)
+        assert list(tree.items()) == [(k, -k) for k in sorted(keys)]
+
+    def test_scan_crosses_leaves(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.put(i, i * 10)
+        rows, path = tree.scan(10, 30)
+        assert rows == [(i, i * 10) for i in range(10, 40)]
+        assert path.depth >= tree.height  # descent plus linked leaves
+
+    def test_scan_from_missing_key(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):
+            tree.put(i, i)
+        rows, __ = tree.scan(31, 3)
+        assert rows == [(32, 32), (34, 34), (36, 36)]
+
+    def test_remove(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.put(i, i)
+        removed, __ = tree.remove(7)
+        assert removed
+        removed, __ = tree.remove(7)
+        assert not removed
+        value, __ = tree.get(7)
+        assert value is None
+        assert len(tree) == 19
+
+    def test_leaf_page_ids_cover_all_leaves(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.put(i, i)
+        ids = list(tree.leaf_page_ids())
+        assert len(ids) == tree.n_leaves
+        assert len(set(ids)) == len(ids)
+
+
+class TestBulk:
+    def test_random_workload_matches_dict(self):
+        tree = BPlusTree(order=6)
+        model = {}
+        rng = random.Random(11)
+        for __ in range(8000):
+            key = rng.randrange(2000)
+            roll = rng.random()
+            if roll < 0.7:
+                tree.put(key, key + 1)
+                model[key] = key + 1
+            elif roll < 0.9:
+                value, __p = tree.get(key)
+                assert value == model.get(key)
+            else:
+                removed, __p = tree.remove(key)
+                assert removed == (model.pop(key, None) is not None)
+        assert len(tree) == len(model)
+        assert list(tree.items()) == sorted(model.items())
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(st.integers(0, 500), st.integers(), max_size=200))
+def test_property_matches_dict(mapping):
+    tree = BPlusTree(order=4)
+    for key, value in mapping.items():
+        tree.put(key, value)
+    assert list(tree.items()) == sorted(mapping.items())
+    for key in list(mapping) + [-1, 501]:
+        value, __ = tree.get(key)
+        assert value == mapping.get(key)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, 500), max_size=150), st.integers(0, 500),
+       st.integers(1, 30))
+def test_property_scan_matches_sorted_slice(keys, start, count):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.put(key, key)
+    expected = [(k, k) for k in sorted(keys) if k >= start][:count]
+    rows, __ = tree.scan(start, count)
+    assert rows == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 300), min_size=1, max_size=300))
+def test_property_structural_invariants(keys):
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.put(key, key)
+    # every get descends exactly `height` pages
+    __, path = tree.get(keys[0])
+    assert path.depth == tree.height
+    # leaf chain covers len(tree) entries in order
+    chained = list(tree.items())
+    assert len(chained) == len(tree)
+    assert chained == sorted(chained)

@@ -1,0 +1,232 @@
+"""Unit tests for the LSM components: memtable, WAL, SSTable, compaction."""
+
+import pytest
+
+from repro.storage.lsm.compaction import SizeTieredCompaction, merge_sstables
+from repro.storage.lsm.memtable import Memtable
+from repro.storage.lsm.sstable import (
+    SSTable,
+    TOMBSTONE,
+    Versioned,
+    resolve_versions,
+    sstable_entry_size,
+)
+from repro.storage.lsm.wal import CommitLog
+
+
+def fields(tag):
+    return {f"field{i}": f"{tag}-{i}".ljust(10, "x") for i in range(5)}
+
+
+class TestVersioned:
+    def test_resolve_newest_wins(self):
+        versions = [Versioned(1, {"a": "1"}), Versioned(3, {"a": "3"}),
+                    Versioned(2, {"a": "2"})]
+        assert resolve_versions(versions).value == {"a": "3"}
+
+    def test_resolve_merges_partial_fields(self):
+        versions = [Versioned(1, {"a": "1", "b": "1"}),
+                    Versioned(2, {"b": "2"})]
+        assert resolve_versions(versions).value == {"a": "1", "b": "2"}
+
+    def test_tombstone_wipes_older_only(self):
+        versions = [Versioned(1, {"a": "1"}), Versioned(2, TOMBSTONE),
+                    Versioned(3, {"b": "3"})]
+        assert resolve_versions(versions).value == {"b": "3"}
+
+    def test_newest_tombstone_deletes(self):
+        versions = [Versioned(1, {"a": "1"}), Versioned(2, TOMBSTONE)]
+        assert resolve_versions(versions).value is TOMBSTONE
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_versions([])
+
+
+class TestEntrySize:
+    def test_matches_serialized_layout(self):
+        from repro.storage.encoding import encode_sstable_row
+        from repro.storage.record import Record
+        record = Record("k" * 25, fields("v"))
+        assert sstable_entry_size(record.key, record.fields) == len(
+            encode_sstable_row(record))
+
+    def test_tombstone_is_small(self):
+        assert sstable_entry_size("k" * 25, TOMBSTONE) == 2 + 25 + 8 + 12 + 4
+
+    def test_unwraps_versioned(self):
+        value = fields("v")
+        assert sstable_entry_size("k", Versioned(1, value)) == (
+            sstable_entry_size("k", value))
+
+
+class TestMemtable:
+    def test_put_get(self):
+        memtable = Memtable()
+        memtable.put("a", fields("1"), seq=1)
+        assert memtable.get("a").value == fields("1")
+        assert memtable.get("missing") is None
+
+    def test_upsert_merges_fields(self):
+        memtable = Memtable()
+        memtable.put("a", {"field0": "x" * 10}, seq=1)
+        memtable.put("a", {"field1": "y" * 10}, seq=2)
+        assert memtable.get("a").value == {"field0": "x" * 10,
+                                           "field1": "y" * 10}
+        assert memtable.get("a").seq == 2
+
+    def test_delete_marks_tombstone(self):
+        memtable = Memtable()
+        memtable.put("a", fields("1"), seq=1)
+        memtable.delete("a", seq=2)
+        assert memtable.get("a").value is TOMBSTONE
+
+    def test_size_accounting(self):
+        memtable = Memtable()
+        assert memtable.size_bytes == 0
+        memtable.put("a" * 25, fields("1"), seq=1)
+        one = memtable.size_bytes
+        assert one == sstable_entry_size("a" * 25, fields("1"))
+        memtable.put("a" * 25, fields("2"), seq=2)  # overwrite, same size
+        assert memtable.size_bytes == one
+        memtable.put("b" * 25, fields("3"), seq=3)
+        assert memtable.size_bytes == 2 * one
+
+    def test_sorted_items(self):
+        memtable = Memtable()
+        for key in ["c", "a", "b"]:
+            memtable.put(key, fields(key), seq=1)
+        assert [k for k, __ in memtable.sorted_items()] == ["a", "b", "c"]
+
+
+class TestCommitLog:
+    def test_group_commit_batches(self):
+        log = CommitLog(group_commit_ops=4)
+        flushed = [log.append(100) for __ in range(8)]
+        # syncs happen on every 4th append, flushing the whole batch
+        assert flushed[:3] == [0, 0, 0]
+        assert flushed[3] == 4 * 112
+        assert flushed[4:7] == [0, 0, 0]
+        assert flushed[7] == 4 * 112
+        assert log.syncs == 2
+
+    def test_sync_per_write_mode(self):
+        log = CommitLog(group_commit_ops=1)
+        assert log.append(100) == 112
+        assert log.syncs == 1
+
+    def test_force_sync_flushes_partial_batch(self):
+        log = CommitLog(group_commit_ops=100)
+        log.append(100)
+        assert log.force_sync() == 112
+        assert log.force_sync() == 0  # nothing pending
+
+    def test_segment_rotation_and_recycling(self):
+        log = CommitLog(segment_size_bytes=1000, group_commit_ops=100)
+        for __ in range(30):
+            log.append(100)
+        assert len(log.segments) > 1
+        active = log.active_segment.index
+        reclaimed = log.mark_clean(active - 1)
+        assert reclaimed > 0
+        assert all(s.index >= active for s in log.segments)
+
+    def test_invalid_group_commit(self):
+        with pytest.raises(ValueError):
+            CommitLog(group_commit_ops=0)
+
+
+class TestSSTable:
+    def make(self, keys, seq_start=1):
+        return SSTable([(k, Versioned(seq_start + i, fields(k)))
+                        for i, k in enumerate(sorted(keys))])
+
+    def test_requires_sorted_unique_input(self):
+        with pytest.raises(ValueError):
+            SSTable([("b", Versioned(1, fields("b"))),
+                     ("a", Versioned(2, fields("a")))])
+        with pytest.raises(ValueError):
+            SSTable([("a", Versioned(1, fields("a"))),
+                     ("a", Versioned(2, fields("a")))])
+
+    def test_get(self):
+        table = self.make(["a", "b", "c"])
+        assert table.get("b").value == fields("b")
+        assert table.get("z") is None
+
+    def test_min_max_and_may_contain(self):
+        table = self.make(["b", "d"])
+        assert table.min_key == "b"
+        assert table.max_key == "d"
+        assert not table.may_contain("a")
+        assert not table.may_contain("e")
+        assert table.may_contain("b")
+
+    def test_bloom_rejects_most_absent_keys(self):
+        table = self.make([f"k{i:04d}" for i in range(500)])
+        rejected = sum(
+            not table.may_contain(f"k{i:04d}x") for i in range(500))
+        assert rejected > 450
+
+    def test_scan(self):
+        table = self.make([f"k{i}" for i in range(10)])
+        rows = table.scan("k3", 3)
+        assert [k for k, __ in rows] == ["k3", "k4", "k5"]
+
+    def test_size_bytes(self):
+        table = self.make(["a"])
+        assert table.size_bytes == sstable_entry_size("a", fields("a"))
+
+    def test_generations_increase(self):
+        first = self.make(["a"])
+        second = self.make(["a"])
+        assert second.generation > first.generation
+
+
+class TestCompaction:
+    def test_merge_prefers_newer_versions(self):
+        old = SSTable([("a", Versioned(1, fields("old")))])
+        new = SSTable([("a", Versioned(2, fields("new")))])
+        merged = merge_sstables([old, new], drop_tombstones=False)
+        assert merged.get("a").value == fields("new")
+        assert len(merged) == 1
+
+    def test_merge_drops_shadowed_tombstones(self):
+        data = SSTable([("a", Versioned(1, fields("a")))])
+        tomb = SSTable([("a", Versioned(2, TOMBSTONE))])
+        merged = merge_sstables([data, tomb], drop_tombstones=True)
+        assert len(merged) == 0
+
+    def test_merge_keeps_tombstones_when_partial(self):
+        data = SSTable([("a", Versioned(1, fields("a")))])
+        tomb = SSTable([("a", Versioned(2, TOMBSTONE))])
+        merged = merge_sstables([data, tomb], drop_tombstones=False)
+        assert merged.get("a").value is TOMBSTONE
+
+    def test_plan_requires_min_threshold(self):
+        strategy = SizeTieredCompaction(min_threshold=4)
+        tables = [SSTable([(f"k{i}", Versioned(i + 1, fields("x")))])
+                  for i in range(3)]
+        assert strategy.plan(tables) is None
+
+    def test_plan_merges_similar_sizes(self):
+        strategy = SizeTieredCompaction(min_threshold=4)
+        tables = [
+            SSTable([(f"k{j:03d}", Versioned(i * 100 + j + 1, fields("x")))
+                     for j in range(10)])
+            for i in range(4)
+        ]
+        task = strategy.plan(tables)
+        assert task is not None
+        assert len(task.inputs) == 4
+        assert task.read_bytes == sum(t.size_bytes for t in tables)
+        assert task.write_bytes == task.output.size_bytes
+        assert task.io_bytes == task.read_bytes + task.write_bytes
+
+    def test_plan_skips_dissimilar_sizes(self):
+        strategy = SizeTieredCompaction(min_threshold=4)
+        small = [SSTable([(f"s{i}", Versioned(i + 1, fields("s")))])
+                 for i in range(3)]
+        big = SSTable([(f"b{j:04d}", Versioned(100 + j, fields("b")))
+                       for j in range(1000)])
+        assert strategy.plan(small + [big]) is None

@@ -1,0 +1,229 @@
+"""Unit and property tests for the full LSM engine."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.lsm import LSMConfig, LSMEngine
+
+
+def fields(tag):
+    return {f"field{i}": f"{tag}"[:10].ljust(10, "x") for i in range(5)}
+
+
+@pytest.fixture
+def engine():
+    return LSMEngine(LSMConfig(memtable_flush_bytes=4000))
+
+
+class TestWritePath:
+    def test_put_then_get(self, engine):
+        engine.put("key1", fields("v1"))
+        assert engine.get("key1").fields == fields("v1")
+
+    def test_overwrite(self, engine):
+        engine.put("k", fields("old"))
+        engine.put("k", fields("new"))
+        assert engine.get("k").fields == fields("new")
+
+    def test_delete(self, engine):
+        engine.put("k", fields("v"))
+        engine.delete("k")
+        assert engine.get("k").fields is None
+
+    def test_delete_of_flushed_key(self, engine):
+        engine.put("k", fields("v"))
+        engine.flush()
+        engine.delete("k")
+        assert engine.get("k").fields is None
+
+    def test_partial_update_across_flush(self, engine):
+        engine.put("k", fields("base"))
+        engine.flush()
+        engine.put("k", {"field0": "updated!!!"})
+        result = engine.get("k").fields
+        expected = dict(fields("base"))
+        expected["field0"] = "updated!!!"
+        assert result == expected
+
+    def test_flush_triggered_by_size(self, engine):
+        for i in range(100):
+            engine.put(f"key{i:05d}", fields(i))
+        assert engine.flushes >= 1
+        assert engine.sstables
+
+    def test_flush_empties_memtable(self, engine):
+        engine.put("k", fields("v"))
+        written = engine.flush()
+        assert written > 0
+        assert len(engine.memtable) == 0
+        assert engine.flush() == 0  # nothing buffered
+
+    def test_io_bill_reports_wal_syncs(self):
+        engine = LSMEngine(LSMConfig(group_commit_ops=2,
+                                     memtable_flush_bytes=10**9))
+        first = engine.put("a", fields("1"))
+        second = engine.put("b", fields("2"))
+        assert first.wal_sync_bytes == 0
+        assert second.wal_sync_bytes > 0
+
+
+class TestReadPath:
+    def test_read_consults_all_candidate_runs(self, engine):
+        engine.put("k", {"field0": "a" * 10})
+        engine.flush()
+        engine.put("k", {"field1": "b" * 10})
+        engine.flush()
+        result = engine.get("k")
+        assert result.fields == {"field0": "a" * 10, "field1": "b" * 10}
+        assert result.bill.runs_touched >= 2
+
+    def test_memtable_hit_skips_disk(self, engine):
+        engine.put("k", fields("v"))
+        result = engine.get("k")
+        assert result.bill.runs_touched == 0
+        assert result.bill.blocks == ()
+
+    def test_bloom_prunes_probes(self):
+        engine = LSMEngine(LSMConfig(memtable_flush_bytes=10**9))
+        for i in range(200):
+            engine.put(f"key{i:05d}", fields(i))
+        engine.flush()
+        engine.sstables_probed = 0
+        for i in range(200):
+            engine.get(f"missing{i:05d}")
+        assert engine.sstables_probed < 20
+
+    def test_bloom_disabled_uses_key_range(self):
+        engine = LSMEngine(LSMConfig(memtable_flush_bytes=10**9,
+                                     bloom_enabled=False))
+        for i in range(50):
+            engine.put(f"key{i:05d}", fields(i))
+        engine.flush()
+        assert engine.get("key00025").fields == fields(25)
+        result = engine.get("zzz")  # outside key range: no probe
+        assert result.bill.runs_touched == 0
+
+    def test_scan_merges_runs_and_memtable(self, engine):
+        engine.put("a", fields("a"))
+        engine.put("c", fields("c1"))
+        engine.flush()
+        engine.put("b", fields("b"))
+        engine.put("c", fields("c2"))
+        rows, __ = engine.scan("a", 10)
+        assert [k for k, __v in rows] == ["a", "b", "c"]
+        assert dict(rows)["c"] == fields("c2")
+
+    def test_scan_hides_tombstones(self, engine):
+        for key in ["a", "b", "c"]:
+            engine.put(key, fields(key))
+        engine.flush()
+        engine.delete("b")
+        rows, __ = engine.scan("a", 10)
+        assert [k for k, __v in rows] == ["a", "c"]
+
+    def test_scan_respects_count(self, engine):
+        for i in range(50):
+            engine.put(f"k{i:03d}", fields(i))
+        rows, __ = engine.scan("k000", 7)
+        assert len(rows) == 7
+
+
+class TestCompactionIntegration:
+    def test_compaction_reduces_sstables(self):
+        engine = LSMEngine(LSMConfig(memtable_flush_bytes=2000,
+                                     min_compaction_threshold=4))
+        for i in range(600):
+            engine.put(f"key{i % 50:05d}", fields(i))
+        assert engine.compaction.compactions_run >= 1
+        # reads stay correct after compaction reshuffles run order
+        assert engine.get("key00049").fields is not None
+
+    def test_disk_bytes_tracks_runs_and_log(self, engine):
+        assert engine.disk_bytes == 0
+        engine.put("k", fields("v"))
+        assert engine.disk_bytes > 0  # commit log bytes
+        engine.flush()
+        assert engine.disk_bytes >= sum(
+            t.size_bytes for t in engine.sstables)
+
+    def test_record_count(self, engine):
+        for i in range(20):
+            engine.put(f"k{i}", fields(i))
+        engine.delete("k3")
+        engine.flush()
+        assert engine.record_count == 19
+
+    def test_iter_blocks_covers_all_runs(self, engine):
+        for i in range(30):
+            engine.put(f"k{i:03d}", fields(i))
+        engine.flush()
+        blocks = list(engine.iter_blocks())
+        assert len(blocks) == sum(len(t) for t in engine.sstables)
+
+
+class TestModelBased:
+    def test_random_ops_match_dict_model(self):
+        engine = LSMEngine(LSMConfig(memtable_flush_bytes=3000))
+        model = {}
+        rng = random.Random(7)
+        for i in range(4000):
+            key = f"key{rng.randrange(300):05d}"
+            roll = rng.random()
+            if roll < 0.65:
+                value = fields(i)
+                engine.put(key, value)
+                model[key] = value
+            elif roll < 0.85:
+                assert engine.get(key).fields == model.get(key)
+            else:
+                engine.delete(key)
+                model.pop(key, None)
+        for key, value in model.items():
+            assert engine.get(key).fields == value
+        assert engine.record_count == len(model)
+
+    def test_scan_matches_model_after_churn(self):
+        engine = LSMEngine(LSMConfig(memtable_flush_bytes=3000))
+        model = {}
+        rng = random.Random(8)
+        for i in range(2000):
+            key = f"key{rng.randrange(200):05d}"
+            if rng.random() < 0.15:
+                engine.delete(key)
+                model.pop(key, None)
+            else:
+                value = fields(i)
+                engine.put(key, value)
+                model[key] = value
+        start = "key00100"
+        rows, __ = engine.scan(start, 25)
+        expected = sorted((k, v) for k, v in model.items()
+                          if k >= start)[:25]
+        assert rows == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 40), st.sampled_from(["put", "delete"])),
+    max_size=120,
+))
+def test_property_engine_equals_dict(operations):
+    engine = LSMEngine(LSMConfig(memtable_flush_bytes=1500))
+    model = {}
+    for i, (key_number, action) in enumerate(operations):
+        key = f"key{key_number:03d}"
+        if action == "put":
+            value = fields(i)
+            engine.put(key, value)
+            model[key] = value
+        else:
+            engine.delete(key)
+            model.pop(key, None)
+    for key_number in range(41):
+        key = f"key{key_number:03d}"
+        assert engine.get(key).fields == model.get(key)
+    rows, __ = engine.scan("key000", 50)
+    assert rows == sorted(model.items())[:50]

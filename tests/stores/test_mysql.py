@@ -1,0 +1,144 @@
+"""Unit tests for the MySQL store model."""
+
+import pytest
+
+from repro.keyspace import format_key, lex_position
+from repro.sim.cluster import CLUSTER_M, Cluster
+from repro.stores.mysql import MySQLStore
+from tests.stores.conftest import make_records, run_op
+
+
+@pytest.fixture
+def store(cluster4, records):
+    deployed = MySQLStore(cluster4)
+    deployed.load(records)
+    deployed.warm_caches()
+    return deployed
+
+
+class TestDeployment:
+    def test_one_table_per_shard(self, store):
+        assert len(store.tables) == 4
+
+    def test_jdbc_ring_balances_load(self, store):
+        counts = [len(t) for t in store.tables]
+        fair = sum(counts) / 4
+        assert max(counts) / fair < 1.25
+
+    def test_binlog_grows_on_load(self, store):
+        assert all(b > 0 for b in store.binlog_bytes)
+
+    def test_binlog_can_be_disabled(self, cluster4, records):
+        deployed = MySQLStore(cluster4, binlog_enabled=False)
+        deployed.load(records)
+        assert all(b == 0 for b in deployed.binlog_bytes)
+
+    def test_disk_usage_halves_without_binlog(self, cluster4, records):
+        with_binlog = MySQLStore(cluster4)
+        with_binlog.load(records)
+        without = MySQLStore(cluster4, binlog_enabled=False)
+        without.load(records)
+        total_with = sum(with_binlog.disk_bytes_per_server())
+        total_without = sum(without.disk_bytes_per_server())
+        assert total_without < 0.65 * total_with
+
+    def test_extra_client_machines(self):
+        assert MySQLStore.clients_for(12, 3) == 8
+
+
+class TestOperations:
+    def test_crud_cycle(self, store):
+        session = store.session(store.cluster.clients[0], 0)
+        record = make_records(510)[-1]
+        assert run_op(store, session.insert(record.key, record.fields))
+        assert run_op(store, session.read(record.key)) == dict(record.fields)
+        assert run_op(store, session.delete(record.key))
+        assert run_op(store, session.read(record.key)) is None
+
+    def test_single_node_scan_uses_limit(self, records):
+        cluster = Cluster(CLUSTER_M, 1)
+        store = MySQLStore(cluster)
+        store.load(records)
+        store.warm_caches()
+        session = store.session(cluster.clients[0], 0)
+        start = store.sim.now
+        rows = run_op(store, session.scan(records[0].key, 10))
+        elapsed = store.sim.now - start
+        assert len(rows) == 10
+        assert elapsed < 0.01  # bounded scan: fast
+
+    def test_sharded_scan_merges_across_shards(self, store, records):
+        session = store.session(store.cluster.clients[0], 0)
+        start_key = records[20].key
+        rows = run_op(store, session.scan(start_key, 15))
+        expected = sorted(r.key for r in records if r.key >= start_key)[:15]
+        assert [k for k, __ in rows] == expected
+
+    def test_sharded_scan_is_catastrophically_slower(self):
+        """Figure 13: the un-LIMITed fan-out dominates beyond one node."""
+        records = make_records(5000)
+        single = MySQLStore(Cluster(CLUSTER_M, 1))
+        single.load(records)
+        single.warm_caches()
+        sharded = MySQLStore(Cluster(CLUSTER_M, 4))
+        sharded.load(records)
+        sharded.warm_caches()
+        early_key = sorted(r.key for r in records)[0]
+
+        def scan_time(store):
+            session = store.session(store.cluster.clients[0], 0)
+            start = store.sim.now
+            run_op(store, session.scan(early_key, 10))
+            return store.sim.now - start
+
+        assert scan_time(sharded) > 5 * scan_time(single)
+
+
+class TestMvccPurgeLag:
+    def test_backlog_grows_when_inserts_outrun_purge(self, store):
+        shard = 0
+        store._versions_created[shard] = 5000
+        # sim.now is ~0: nothing purged yet
+        assert store._version_backlog(shard) == pytest.approx(5000)
+
+    def test_backlog_drains_over_time(self, store):
+        shard = 0
+        store._versions_created[shard] = 5000
+        store.sim._now = 10.0  # purge had 10 seconds
+        expected = 5000 - 10 * store.PURGE_RATE
+        assert store._version_backlog(shard) == pytest.approx(
+            max(0, expected))
+
+    def test_scan_pays_for_backlog(self, records):
+        cluster = Cluster(CLUSTER_M, 1)
+        store = MySQLStore(cluster)
+        store.load(records)
+        session = store.session(cluster.clients[0], 0)
+        start = store.sim.now
+        run_op(store, session.scan(records[0].key, 10))
+        clean = store.sim.now - start
+        store._versions_created[0] = 50_000
+        start = store.sim.now
+        run_op(store, session.scan(records[0].key, 10))
+        laggy = store.sim.now - start
+        assert laggy > 5 * clean
+
+
+class TestKeyPosition:
+    def test_positions_are_uniform(self):
+        positions = [lex_position(format_key(i)) for i in range(2000)]
+        assert 0.45 < sum(positions) / len(positions) < 0.55
+        assert min(positions) >= 0.0
+        assert max(positions) < 1.0
+
+    def test_position_matches_rank(self):
+        keys = sorted(format_key(i) for i in range(5000))
+        # lexicographic rank should track the computed position
+        for rank_fraction in (0.1, 0.5, 0.9):
+            key = keys[int(rank_fraction * len(keys))]
+            assert lex_position(key) == pytest.approx(rank_fraction,
+                                                      abs=0.05)
+
+    def test_non_benchmark_key_falls_back_to_hash(self):
+        position = lex_position("some/metric/path|000000000001")
+        assert 0.0 <= position < 1.0

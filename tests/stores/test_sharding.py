@@ -1,0 +1,131 @@
+"""Unit tests for hashing and sharding rings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keyspace import format_key
+from repro.stores.sharding import (
+    ConsistentHashRing,
+    TokenRing,
+    jdbc_ring,
+    jedis_ring,
+    md5_long,
+    murmur64a,
+)
+
+
+class TestHashes:
+    def test_murmur_is_deterministic_64bit(self):
+        value = murmur64a(b"hello world")
+        assert value == murmur64a(b"hello world")
+        assert 0 <= value < 2**64
+
+    def test_murmur_seed_changes_output(self):
+        assert murmur64a(b"x", seed=1) != murmur64a(b"x", seed=2)
+
+    def test_murmur_handles_tails(self):
+        # exercise every tail length 0..7
+        values = {murmur64a(b"a" * n) for n in range(16)}
+        assert len(values) == 16
+
+    def test_md5_long_is_deterministic(self):
+        assert md5_long(b"key") == md5_long(b"key")
+        assert md5_long(b"key") != md5_long(b"other")
+
+    def test_murmur_avalanche(self):
+        # flipping one bit should change about half the output bits
+        a = murmur64a(b"key-000")
+        b = murmur64a(b"key-001")
+        assert 10 <= bin(a ^ b).count("1") <= 54
+
+
+class TestConsistentHashRing:
+    def test_requires_shards(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([], 160)
+
+    def test_all_keys_routed(self):
+        ring = ConsistentHashRing(["s0", "s1", "s2"], 160)
+        keys = [format_key(i) for i in range(1000)]
+        shares = ring.load_shares(keys)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(share > 0 for share in shares.values())
+
+    def test_routing_is_stable(self):
+        ring = ConsistentHashRing(["s0", "s1"], 160)
+        key = format_key(5)
+        assert ring.shard_for(key) == ring.shard_for(key)
+
+    def test_consistency_under_shard_addition(self):
+        """Adding a shard remaps only a bounded share of keys."""
+        keys = [format_key(i) for i in range(2000)]
+        small = ConsistentHashRing(["s0", "s1", "s2"], 160)
+        large = ConsistentHashRing(["s0", "s1", "s2", "s3"], 160)
+        moved = sum(small.shard_for(k) != large.shard_for(k) for k in keys)
+        # ideal is 1/4; consistent hashing keeps it well below 1/2
+        assert moved / len(keys) < 0.45
+
+    def test_jdbc_balances_better_than_jedis(self):
+        """Section 5.1: 'the YCSB client for MySQL did a much better
+        sharding than the Jedis library'."""
+        keys = [format_key(i) for i in range(20_000)]
+        names = [f"node{i}" for i in range(12)]
+        jedis = jedis_ring(names).imbalance(keys)
+        jdbc = jdbc_ring(names).imbalance(keys)
+        assert jdbc < jedis
+        assert jdbc < 1.06
+
+    def test_jedis_is_measurably_unbalanced(self):
+        keys = [format_key(i) for i in range(20_000)]
+        names = [f"node{i}" for i in range(12)]
+        assert jedis_ring(names).imbalance(keys) > 1.10
+
+    def test_jedis_md5_variant(self):
+        ring = jedis_ring(["a", "b"], algorithm="md5")
+        assert ring.shard_for(format_key(1)) in ("a", "b")
+
+    def test_jedis_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            jedis_ring(["a"], algorithm="crc32")
+
+
+class TestTokenRing:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            TokenRing(0)
+
+    def test_tokens_split_space_evenly(self):
+        ring = TokenRing(4)
+        assert len(ring.tokens) == 4
+        step = ring.tokens[1] - ring.tokens[0]
+        assert all(b - a == step
+                   for a, b in zip(ring.tokens, ring.tokens[1:]))
+
+    def test_optimal_tokens_balance_load(self):
+        """The paper assigned optimal tokens; load should be near-even."""
+        ring = TokenRing(8)
+        counts = [0] * 8
+        for i in range(20_000):
+            counts[ring.owner_of(format_key(i))] += 1
+        fair = 20_000 / 8
+        assert max(counts) / fair < 1.10
+        assert min(counts) / fair > 0.90
+
+    def test_replicas_walk_the_ring(self):
+        ring = TokenRing(5)
+        replicas = ring.replicas_of(format_key(3), replication_factor=3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert replicas[1] == (replicas[0] + 1) % 5
+
+    def test_replication_capped_at_ring_size(self):
+        ring = TokenRing(2)
+        assert len(ring.replicas_of("k", replication_factor=5)) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(min_size=1, max_size=50))
+def test_property_ring_always_routes(key):
+    ring = ConsistentHashRing(["a", "b", "c"], 16)
+    assert ring.shard_for(key) in ("a", "b", "c")

@@ -1,0 +1,62 @@
+"""Unit tests for the apmbench CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cassandra" in out
+        assert "RSW" in out
+        assert "fig17" in out
+
+
+class TestRun:
+    def test_runs_small_benchmark(self, capsys):
+        code = main(["run", "-s", "redis", "-w", "R", "-n", "1",
+                     "--records", "1500", "--ops", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "latency ms:" in out
+
+    def test_rejects_unknown_store(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-s", "mongodb"])
+
+
+class TestFigure:
+    def test_fig17_renders_and_checks(self, capsys):
+        assert main(["figure", "fig17", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "Disk usage" in out
+        assert "all paper expectations hold" in out
+
+    def test_table1(self, capsys):
+        assert main(["figure", "table1", "--check"]) == 0
+
+
+class TestFigureExport:
+    def test_export_writes_json_and_csv(self, tmp_path, capsys):
+        assert main(["figure", "fig17", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "fig17.json").exists()
+        assert (tmp_path / "fig17.csv").exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+
+class TestCapacity:
+    def test_paper_example_not_sustainable(self, capsys):
+        code = main(["capacity", "--throughput-per-node", "15000"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "240,000" in out
+        assert "NOT sustainable" in out
+
+    def test_sustainable_case(self, capsys):
+        code = main(["capacity", "--throughput-per-node", "25000"])
+        assert code == 0
+        assert "sustainable" in capsys.readouterr().out

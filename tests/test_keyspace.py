@@ -1,0 +1,65 @@
+"""Unit tests for the benchmark key space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keyspace import (
+    KEY_DIGITS,
+    KEY_LENGTH,
+    KEY_PREFIX,
+    format_key,
+    lex_position,
+)
+
+
+class TestFormat:
+    def test_constants_match_paper(self):
+        assert KEY_LENGTH == 25  # Section 3: 25-byte keys
+        assert KEY_PREFIX == "user"
+        assert KEY_DIGITS == 21
+
+    def test_key_shape(self):
+        key = format_key(123)
+        assert len(key) == 25
+        assert key.startswith("user")
+        assert key[4:].isdigit()
+
+    def test_negative_numbers_rejected(self):
+        with pytest.raises(OverflowError):
+            format_key(-1)
+
+    def test_scattering(self):
+        # adjacent record numbers land far apart
+        a = lex_position(format_key(1))
+        b = lex_position(format_key(2))
+        assert abs(a - b) > 0.001
+
+
+class TestLexPosition:
+    def test_bounds(self):
+        for i in range(100):
+            position = lex_position(format_key(i))
+            assert 0.0 <= position < 1.0
+
+    def test_monotone_in_key_order(self):
+        keys = sorted(format_key(i) for i in range(500))
+        positions = [lex_position(k) for k in keys]
+        assert positions == sorted(positions)
+
+    def test_fallback_for_foreign_keys(self):
+        position = lex_position("HostA/AgentX/Servlet|000000000042")
+        assert 0.0 <= position < 1.0
+        # deterministic
+        assert position == lex_position("HostA/AgentX/Servlet|000000000042")
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 2**62))
+def test_property_round_trip_ordering(record_number):
+    key = format_key(record_number)
+    assert len(key) == KEY_LENGTH
+    position = lex_position(key)
+    assert 0.0 <= position < 1.0
+    # position is exactly the encoded fraction of the hash space
+    assert position == pytest.approx(int(key[4:]) / 2**64, abs=1e-12)

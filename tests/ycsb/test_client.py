@@ -1,0 +1,100 @@
+"""Unit tests for the closed-loop client threads."""
+
+import random
+
+import pytest
+
+from repro.sim.cluster import CLUSTER_M, Cluster
+from repro.stores.base import OpType
+from repro.stores.registry import create_store
+from repro.storage.record import APM_SCHEMA
+from repro.ycsb.client import ClientThread, RunControl
+from repro.ycsb.generator import KeySequence, UniformChooser
+from repro.ycsb.stats import RunStats
+from repro.ycsb.workload import WORKLOAD_R, WORKLOAD_RS
+from tests.stores.conftest import make_records
+
+
+class TestRunControl:
+    def test_measurement_window_opens_after_warmup(self):
+        control = RunControl(warmup_ops=3, measured_ops=5)
+        stats = RunStats()
+        for i in range(3):
+            control.note_completion(stats, now=float(i))
+            assert control.done is False
+        assert control.measuring
+        assert stats.started_at == 2.0
+
+    def test_done_after_measured_ops(self):
+        control = RunControl(warmup_ops=2, measured_ops=3)
+        stats = RunStats()
+        for i in range(5):
+            control.note_completion(stats, now=float(i))
+        assert control.done
+        assert stats.finished_at == 4.0
+
+    def test_completion_counter(self):
+        control = RunControl(warmup_ops=1, measured_ops=1)
+        stats = RunStats()
+        control.note_completion(stats, 0.0)
+        control.note_completion(stats, 1.0)
+        assert control.completed == 2
+
+
+def build_thread(store, workload, control, stats, seed=1):
+    session = store.session(store.cluster.clients[0], 0)
+    rng = random.Random(seed)
+    sequence = KeySequence(200)
+    chooser = UniformChooser(200, rng)
+    return ClientThread(session, workload, chooser, sequence, stats,
+                        control, rng, APM_SCHEMA)
+
+
+class TestClientThread:
+    @pytest.fixture
+    def store(self):
+        cluster = Cluster(CLUSTER_M, 2)
+        deployed = create_store("redis", cluster)
+        deployed.load(make_records(200))
+        return deployed
+
+    def test_runs_until_control_done(self, store):
+        stats = RunStats()
+        control = RunControl(warmup_ops=10, measured_ops=50)
+        thread = build_thread(store, WORKLOAD_R, control, stats)
+        store.sim.run(until=store.sim.process(thread.run()))
+        assert control.done
+        assert stats.operations == 50
+
+    def test_op_mix_matches_workload(self, store):
+        stats = RunStats()
+        control = RunControl(warmup_ops=0, measured_ops=400)
+        thread = build_thread(store, WORKLOAD_R, control, stats)
+        store.sim.run(until=store.sim.process(thread.run()))
+        reads = stats.histogram(OpType.READ).count
+        inserts = stats.histogram(OpType.INSERT).count
+        assert reads + inserts == 400
+        assert 0.90 <= reads / 400 <= 0.99
+
+    def test_scan_workload_records_scan_latencies(self, store):
+        stats = RunStats()
+        control = RunControl(warmup_ops=0, measured_ops=100)
+        thread = build_thread(store, WORKLOAD_RS, control, stats)
+        store.sim.run(until=store.sim.process(thread.run()))
+        assert stats.histogram(OpType.SCAN).count > 20
+
+    def test_inserts_consume_shared_sequence(self, store):
+        stats = RunStats()
+        control = RunControl(warmup_ops=0, measured_ops=100)
+        thread = build_thread(store, WORKLOAD_RS, control, stats)
+        before = thread.sequence.next_value
+        store.sim.run(until=store.sim.process(thread.run()))
+        inserted = thread.sequence.next_value - before
+        assert inserted == stats.histogram(OpType.INSERT).count
+
+    def test_latencies_are_positive(self, store):
+        stats = RunStats()
+        control = RunControl(warmup_ops=0, measured_ops=50)
+        thread = build_thread(store, WORKLOAD_R, control, stats)
+        store.sim.run(until=store.sim.process(thread.run()))
+        assert stats.histogram(OpType.READ).min > 0

@@ -1,0 +1,133 @@
+"""Unit tests for key choosers and record generation."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.keyspace import KEY_LENGTH, format_key, lex_position
+from repro.storage.record import APM_SCHEMA
+from repro.ycsb.generator import (
+    KeySequence,
+    LatestChooser,
+    UniformChooser,
+    ZipfianChooser,
+    generate_field_value,
+    generate_record,
+    generate_records,
+    make_chooser,
+)
+
+
+class TestKeyFormat:
+    def test_key_length_is_25_bytes(self):
+        assert KEY_LENGTH == 25
+        assert len(format_key(0)) == 25
+        assert len(format_key(10**9)) == 25
+
+    def test_keys_are_unique(self):
+        keys = {format_key(i) for i in range(10_000)}
+        assert len(keys) == 10_000
+
+    def test_keys_scattered_lexicographically(self):
+        # sequential record numbers land all over the key space
+        positions = [lex_position(format_key(i)) for i in range(100)]
+        assert max(positions) - min(positions) > 0.8
+
+
+class TestRecordGeneration:
+    def test_record_matches_schema(self):
+        record = generate_record(17)
+        APM_SCHEMA.validate(record)
+        assert record.raw_size == 75
+
+    def test_deterministic(self):
+        assert generate_record(5) == generate_record(5)
+        assert generate_record(5) != generate_record(6)
+
+    def test_field_values_differ_between_fields(self):
+        record = generate_record(3)
+        assert len(set(record.fields.values())) > 1
+
+    def test_generate_records_count(self):
+        records = list(generate_records(7))
+        assert len(records) == 7
+        assert records[0] == generate_record(0)
+
+    def test_field_value_length(self):
+        assert len(generate_field_value(1, 2, 10)) == 10
+        assert len(generate_field_value(1, 2, 25)) == 25
+
+
+class TestKeySequence:
+    def test_monotone(self):
+        sequence = KeySequence(100)
+        assert sequence.take() == 100
+        assert sequence.take() == 101
+        assert sequence.next_value == 102
+
+
+class TestUniformChooser:
+    def test_bounds(self):
+        chooser = UniformChooser(100, random.Random(1))
+        values = [chooser.next_record_number() for __ in range(1000)]
+        assert min(values) >= 0
+        assert max(values) < 100
+
+    def test_roughly_uniform(self):
+        chooser = UniformChooser(10, random.Random(2))
+        counts = Counter(chooser.next_record_number()
+                         for __ in range(20_000))
+        assert max(counts.values()) / min(counts.values()) < 1.3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UniformChooser(0, random.Random(1))
+
+
+class TestZipfianChooser:
+    def test_bounds(self):
+        chooser = ZipfianChooser(1000, random.Random(3))
+        values = [chooser.next_record_number() for __ in range(2000)]
+        assert min(values) >= 0
+        assert max(values) < 1000
+
+    def test_skews_to_low_items(self):
+        chooser = ZipfianChooser(1000, random.Random(4))
+        values = [chooser.next_record_number() for __ in range(20_000)]
+        head = sum(1 for v in values if v < 100)
+        assert head / len(values) > 0.5  # top 10% gets most traffic
+
+
+class TestLatestChooser:
+    def test_skews_to_recent(self):
+        sequence = KeySequence(1000)
+        chooser = LatestChooser(sequence, random.Random(5))
+        values = [chooser.next_record_number() for __ in range(5000)]
+        recent = sum(1 for v in values if v >= 900)
+        assert recent / len(values) > 0.5
+        assert max(values) < 1000
+
+    def test_follows_inserts(self):
+        sequence = KeySequence(100)
+        chooser = LatestChooser(sequence, random.Random(6))
+        for __ in range(500):
+            sequence.take()
+        values = [chooser.next_record_number() for __ in range(2000)]
+        assert max(values) >= 100  # sees the newly inserted range
+
+
+class TestMakeChooser:
+    def test_dispatch(self):
+        sequence = KeySequence(10)
+        rng = random.Random(0)
+        assert isinstance(make_chooser("uniform", 10, sequence, rng),
+                          UniformChooser)
+        assert isinstance(make_chooser("zipfian", 10, sequence, rng),
+                          ZipfianChooser)
+        assert isinstance(make_chooser("latest", 10, sequence, rng),
+                          LatestChooser)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_chooser("pareto", 10, KeySequence(0), random.Random(0))

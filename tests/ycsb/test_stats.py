@@ -1,0 +1,127 @@
+"""Unit tests for latency histograms and run statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stores.base import OpType
+from repro.ycsb.stats import LatencyHistogram, RunStats
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.count == 0
+
+    def test_mean_min_max(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.002, 0.003):
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(0.002)
+        assert histogram.min == 0.001
+        assert histogram.max == 0.003
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1.0)
+
+    def test_percentile_bounds(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.percentile(0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_percentile_monotone(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 1000):
+            histogram.record(i * 1e-5)
+        p50 = histogram.percentile(50)
+        p95 = histogram.percentile(95)
+        p99 = histogram.percentile(99)
+        assert p50 <= p95 <= p99
+
+    def test_percentile_accuracy_within_bucket_resolution(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 101):
+            histogram.record(i * 1e-3)
+        # p50 should be near 50 ms, within the ~12% bucket width
+        assert histogram.percentile(50) == pytest.approx(0.050, rel=0.15)
+
+    def test_errors_counted(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001, error=True)
+        histogram.record(0.001)
+        assert histogram.errors == 1
+
+    def test_merge(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        a.record(0.001)
+        b.record(0.1, error=True)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max == 0.1
+        assert a.min == 0.001
+        assert a.errors == 1
+
+    def test_out_of_range_values_clamped(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e-9)   # below MIN_LATENCY
+        histogram.record(1e6)    # beyond the last bucket
+        assert histogram.count == 2
+        assert histogram.percentile(100) > 0
+
+
+class TestRunStats:
+    def test_record_and_throughput(self):
+        stats = RunStats()
+        stats.started_at = 10.0
+        for __ in range(100):
+            stats.record(OpType.READ, 0.001)
+        stats.finished_at = 12.0
+        assert stats.operations == 100
+        assert stats.duration == 2.0
+        assert stats.throughput == 50.0
+
+    def test_latency_per_op_type(self):
+        stats = RunStats()
+        stats.record(OpType.READ, 0.002)
+        stats.record(OpType.INSERT, 0.004)
+        assert stats.latency(OpType.READ) == pytest.approx(0.002)
+        assert stats.latency(OpType.INSERT) == pytest.approx(0.004)
+        assert stats.latency(OpType.SCAN) == 0.0
+
+    def test_error_accounting(self):
+        stats = RunStats()
+        stats.record(OpType.INSERT, 0.001, error=True)
+        assert stats.errors == 1
+
+    def test_summary_keys(self):
+        stats = RunStats()
+        stats.started_at, stats.finished_at = 0.0, 1.0
+        stats.record(OpType.READ, 0.001)
+        summary = stats.summary()
+        assert "throughput_ops" in summary
+        assert "read_mean_s" in summary
+        assert "read_p99_s" in summary
+
+    def test_zero_duration_throughput(self):
+        stats = RunStats()
+        assert stats.throughput == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=1e-6, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=300))
+def test_property_percentiles_bound_the_data(latencies):
+    histogram = LatencyHistogram()
+    for value in latencies:
+        histogram.record(value)
+    # bucket upper edges: p100 >= max; p(small) within a bucket of min
+    assert histogram.percentile(100) >= max(latencies) * 0.99
+    assert histogram.percentile(1) >= min(latencies) * 0.85
+    assert histogram.mean == pytest.approx(
+        sum(latencies) / len(latencies))

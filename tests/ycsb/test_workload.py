@@ -1,0 +1,92 @@
+"""Unit tests for workload definitions (Table 1)."""
+
+import pytest
+
+from repro.stores.base import OpType
+from repro.ycsb.workload import (
+    WORKLOADS,
+    WORKLOAD_R,
+    WORKLOAD_RS,
+    WORKLOAD_RSW,
+    WORKLOAD_RW,
+    WORKLOAD_W,
+    WORKLOAD_WS,
+    Workload,
+)
+
+
+class TestTable1:
+    """The exact mixes from Table 1 of the paper."""
+
+    def test_workload_r(self):
+        assert WORKLOAD_R.read_proportion == 0.95
+        assert WORKLOAD_R.insert_proportion == 0.05
+        assert WORKLOAD_R.scan_proportion == 0
+
+    def test_workload_rw(self):
+        assert WORKLOAD_RW.read_proportion == 0.50
+        assert WORKLOAD_RW.insert_proportion == 0.50
+
+    def test_workload_w(self):
+        assert WORKLOAD_W.read_proportion == 0.01
+        assert WORKLOAD_W.insert_proportion == 0.99
+
+    def test_workload_rs(self):
+        assert WORKLOAD_RS.read_proportion == 0.47
+        assert WORKLOAD_RS.scan_proportion == 0.47
+        assert WORKLOAD_RS.insert_proportion == 0.06
+
+    def test_workload_rsw(self):
+        assert WORKLOAD_RSW.read_proportion == 0.25
+        assert WORKLOAD_RSW.scan_proportion == 0.25
+        assert WORKLOAD_RSW.insert_proportion == 0.50
+
+    def test_registry_has_paper_order(self):
+        assert list(WORKLOADS) == ["R", "RW", "W", "RS", "RSW"]
+
+    def test_scan_length_is_50(self):
+        assert all(w.scan_length == 50 for w in WORKLOADS.values())
+
+    def test_uniform_distribution(self):
+        assert all(w.distribution == "uniform" for w in WORKLOADS.values())
+
+    def test_omitted_ws_workload_exists(self):
+        # tested by the paper but omitted "due to space constraints"
+        assert WORKLOAD_WS.insert_proportion == 0.90
+        assert WORKLOAD_WS.has_scans
+
+
+class TestWorkload:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            Workload("bad", read_proportion=0.5, insert_proportion=0.2)
+
+    def test_has_scans(self):
+        assert WORKLOAD_RS.has_scans
+        assert not WORKLOAD_R.has_scans
+
+    def test_write_fraction(self):
+        assert WORKLOAD_RW.write_fraction == 0.50
+        assert WORKLOAD_RSW.write_fraction == 0.50
+        assert WORKLOAD_R.write_fraction == 0.05
+
+    def test_op_table_is_cumulative(self):
+        table = WORKLOAD_RS.op_table()
+        ops = [op for op, __ in table]
+        thresholds = [t for __, t in table]
+        assert ops == [OpType.READ, OpType.SCAN, OpType.INSERT]
+        assert thresholds == pytest.approx([0.47, 0.94, 1.0])
+
+    def test_op_table_skips_zero_proportions(self):
+        table = WORKLOAD_R.op_table()
+        assert [op for op, __ in table] == [OpType.READ, OpType.INSERT]
+
+    def test_op_table_top_is_exactly_one(self):
+        for workload in WORKLOADS.values():
+            assert workload.op_table()[-1][1] == 1.0
+
+    def test_update_and_delete_supported(self):
+        workload = Workload("ud", update_proportion=0.5,
+                            delete_proportion=0.5)
+        ops = [op for op, __ in workload.op_table()]
+        assert ops == [OpType.UPDATE, OpType.DELETE]

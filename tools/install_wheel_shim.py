@@ -1,0 +1,59 @@
+"""Install the offline ``wheel`` shim into the active environment.
+
+Run once before ``pip install -e .`` in environments without network
+access and without the real ``wheel`` distribution::
+
+    python tools/install_wheel_shim.py
+
+The shim registers the ``bdist_wheel`` distutils command via the usual
+entry point, which is all setuptools needs for PEP 660 editable installs.
+If a real ``wheel`` package is already importable, this script does
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+ENTRY_POINTS = """\
+[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: wheel
+Version: 0.0.1+shim
+Summary: Minimal offline wheel shim (WheelFile + bdist_wheel)
+"""
+
+
+def main() -> int:
+    try:
+        import wheel  # noqa: F401
+        print("a 'wheel' package is already installed; nothing to do")
+        return 0
+    except ImportError:
+        pass
+    site_packages = site.getsitepackages()[0]
+    source = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "wheel_shim", "wheel")
+    target = os.path.join(site_packages, "wheel")
+    shutil.copytree(source, target, dirs_exist_ok=True)
+    dist_info = os.path.join(site_packages, "wheel-0.0.1+shim.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as handle:
+        handle.write(METADATA)
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as handle:
+        handle.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info, "RECORD"), "w") as handle:
+        handle.write("")
+    print(f"wheel shim installed into {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

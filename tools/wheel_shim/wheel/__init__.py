@@ -1,0 +1,11 @@
+"""Minimal offline stand-in for the ``wheel`` package.
+
+The benchmark environment has no network access and no ``wheel``
+distribution, but ``pip install -e .`` (PEP 660 editable installs through
+setuptools) needs ``wheel.wheelfile.WheelFile`` and the ``bdist_wheel``
+command.  This shim implements just enough of both — PEP 427 archives
+with correct RECORD hashing — to support editable and regular installs
+of pure-Python projects.  Install it with ``python tools/install_wheel_shim.py``.
+"""
+
+__version__ = "0.0.1+shim"

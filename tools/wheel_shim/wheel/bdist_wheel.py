@@ -1,0 +1,138 @@
+"""A minimal ``bdist_wheel`` distutils command for pure-Python projects."""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+from setuptools import Command
+
+from wheel.wheelfile import WheelFile
+
+__all__ = ["bdist_wheel"]
+
+
+def _safe_name(name: str) -> str:
+    return name.replace("-", "_")
+
+
+class bdist_wheel(Command):
+    """Build a py3-none-any wheel (enough for pip's install paths)."""
+
+    description = "create a wheel distribution (offline shim)"
+    user_options = [
+        ("dist-dir=", "d", "directory to put the wheel in"),
+        ("keep-temp", "k", "keep the build tree"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.keep_temp = False
+        self.data_dir = None
+        self.plat_name = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    # -- API used by setuptools' editable_wheel ----------------------------
+
+    def get_tag(self):
+        """Pure-Python tag: the shim never builds native code."""
+        return ("py3", "none", "any")
+
+    def wheel_dist_name(self):
+        """<name>-<version> with PEP 503-ish normalisation."""
+        dist = self.distribution
+        return (f"{_safe_name(dist.get_name())}-"
+                f"{dist.get_version()}")
+
+    def write_wheelfile(self, wheelfile_base,
+                        generator: str | None = None):
+        """Write the dist-info WHEEL metadata file."""
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: wheel-shim ({sys.version_info[0]}."
+            f"{sys.version_info[1]})\n"
+            "Root-Is-Purelib: true\n"
+            "Tag: py3-none-any\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an egg-info directory into a dist-info directory.
+
+        setuptools' ``dist_info`` command delegates this step to
+        ``bdist_wheel``: PKG-INFO becomes METADATA, entry points are
+        carried over, egg-specific files are dropped.
+        """
+        if os.path.isdir(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        skip = {"PKG-INFO", "SOURCES.txt", "requires.txt",
+                "dependency_links.txt", "not-zip-safe", "zip-safe"}
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        shutil.copyfile(pkg_info, os.path.join(distinfo_path, "METADATA"))
+        for fname in os.listdir(egginfo_path):
+            if fname in skip:
+                continue
+            source = os.path.join(egginfo_path, fname)
+            if os.path.isfile(source):
+                shutil.copyfile(source, os.path.join(distinfo_path, fname))
+        if os.path.isdir(egginfo_path):
+            shutil.rmtree(egginfo_path)
+
+    # -- full build (pip install . without -e) ------------------------------
+
+    def run(self):
+        build = self.reinitialize_command("build")
+        build.ensure_finalized()
+        build.run()
+        build_lib = self.get_finalized_command("build").build_lib
+
+        tmp = tempfile.mkdtemp(prefix="wheel-shim-")
+        try:
+            staging = os.path.join(tmp, "staging")
+            shutil.copytree(build_lib, staging)
+
+            dist_info = self.reinitialize_command("dist_info")
+            dist_info.ensure_finalized()
+            # setuptools' dist_info writes <name>-<version>.dist-info
+            # under egg_base/output_dir depending on version; point both
+            # at the staging tree.
+            for attribute in ("egg_base", "output_dir"):
+                if hasattr(dist_info, attribute):
+                    setattr(dist_info, attribute, staging)
+            dist_info.run()
+
+            dist_info_dir = os.path.join(
+                staging, f"{self.wheel_dist_name()}.dist-info"
+            )
+            if not os.path.isdir(dist_info_dir):
+                candidates = [d for d in os.listdir(staging)
+                              if d.endswith(".dist-info")]
+                dist_info_dir = os.path.join(staging, candidates[0])
+            self.write_wheelfile(dist_info_dir)
+
+            os.makedirs(self.dist_dir, exist_ok=True)
+            archive = os.path.join(
+                self.dist_dir,
+                f"{self.wheel_dist_name()}-py3-none-any.whl",
+            )
+            if os.path.exists(archive):
+                os.unlink(archive)
+            with WheelFile(archive, "w") as wheel_file:
+                wheel_file.write_files(staging)
+
+            if getattr(self.distribution, "dist_files", None) is not None:
+                self.distribution.dist_files.append(
+                    ("bdist_wheel", "py3", archive)
+                )
+        finally:
+            if not self.keep_temp:
+                shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,78 @@
+"""A PEP 427-conformant WheelFile: a zip archive with a hashed RECORD."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+__all__ = ["WheelFile"]
+
+_FILENAME_RE = re.compile(
+    r"^(?P<name>[^-]+)-(?P<version>[^-]+)"
+    r"(-(?P<build>\d[^-]*))?"
+    r"-(?P<pyver>[^-]+)-(?P<abi>[^-]+)-(?P<plat>[^-]+)\.whl$"
+)
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Zip archive that records SHA-256 hashes and writes RECORD on close."""
+
+    def __init__(self, file, mode="r",
+                 compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _FILENAME_RE.match(basename)
+        if match is None:
+            raise ValueError(f"bad wheel filename: {basename!r}")
+        self.parsed_filename = match
+        name = match.group("name")
+        version = match.group("version")
+        self.dist_info_path = f"{name}-{version}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._record_entries: list[str] = []
+        super().__init__(file, mode, compression=compression)
+
+    # -- hashing wrappers -------------------------------------------------
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (zinfo_or_arcname.filename
+                   if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+                   else str(zinfo_or_arcname))
+        if arcname != self.record_path:
+            digest = hashlib.sha256(data).digest()
+            self._record_entries.append(
+                f"{arcname},sha256={_urlsafe_b64_nopad(digest)},{len(data)}"
+            )
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        arcname = arcname if arcname is not None else filename
+        with open(filename, "rb") as handle:
+            self.writestr(str(arcname).replace(os.sep, "/"), handle.read())
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir``, deterministically ordered."""
+        collected = []
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for fname in sorted(files):
+                path = os.path.join(root, fname)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                collected.append((path, arcname))
+        for path, arcname in collected:
+            self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            record = "\n".join(self._record_entries
+                               + [f"{self.record_path},,", ""])
+            super().writestr(self.record_path, record.encode("utf-8"))
+        super().close()
