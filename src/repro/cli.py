@@ -4,6 +4,7 @@ Subcommands::
 
     apmbench list                      # stores, workloads, figures
     apmbench run -s cassandra -w R -n 4
+    apmbench chaos -s cassandra -n 4 --crash server-1 --restart-after 2
     apmbench figure fig3 [--chart] [--check]
     apmbench capacity --monitored 240 --throughput-per-node 15000
 
@@ -20,6 +21,7 @@ from repro.analysis.expectations import check_expectations
 from repro.analysis.figures import FIGURES, active_profile, build_figure
 from repro.analysis.report import render_figure
 from repro.core.capacity import plan_capacity
+from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import CLUSTER_D, CLUSTER_M
 from repro.stores.registry import STORE_NAMES
 from repro.ycsb.runner import run_benchmark
@@ -53,7 +55,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"latency ms: read={row['read_ms']} write={row['write_ms']} "
           f"scan={row['scan_ms']}")
     if row["errors"]:
-        print(f"errors:     {row['errors']}")
+        print(f"errors:     {row['errors']} ({row['error_pct']}% of "
+              "measured ops)")
+        for op, histogram in sorted(result.stats.histograms.items(),
+                                    key=lambda pair: pair[0].value):
+            if histogram.errors:
+                rate = 100.0 * histogram.errors / histogram.count
+                print(f"  {op.value}: {histogram.errors} errors "
+                      f"({rate:.2f}%)")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload]
+    spec = CLUSTER_D if args.cluster == "D" else CLUSTER_M
+    nodes = [f"server-{i}" for i in range(args.nodes)]
+    if args.random:
+        schedule = FaultSchedule.random(
+            args.seed, nodes, args.duration, n_crashes=args.random)
+    else:
+        schedule = FaultSchedule()
+        for target in args.crash or ["server-0"]:
+            if target not in nodes:
+                print(f"unknown node {target!r} (have {', '.join(nodes)})",
+                      file=sys.stderr)
+                return 2
+            schedule.crash(target, at=args.at,
+                           restart_after=args.restart_after)
+    store_kwargs = {}
+    if args.rf is not None or args.consistency is not None:
+        if args.store != "cassandra":
+            print("--rf/--consistency only apply to cassandra",
+                  file=sys.stderr)
+            return 2
+    if args.rf is not None:
+        store_kwargs["replication_factor"] = args.rf
+    if args.consistency is not None:
+        store_kwargs["consistency_level"] = args.consistency
+    result = run_benchmark(
+        args.store, workload, args.nodes, cluster_spec=spec,
+        records_per_node=args.records, seed=args.seed,
+        fault_schedule=schedule, duration_s=args.duration,
+        availability_window_s=args.window, warmup_ops=0,
+        store_kwargs=store_kwargs,
+    )
+    row = result.row()
+    print(f"store={row['store']} workload={row['workload']} "
+          f"nodes={row['nodes']} cluster={row['cluster']} "
+          f"duration={args.duration:g}s")
+    print("fault plan:")
+    for when, what in result.fault_log:
+        print(f"  t={when:7.3f}  {what}")
+    if not result.fault_log:
+        print("  (no faults fired inside the run window)")
+    print(f"throughput: {row['throughput_ops']:,.0f} ops/s "
+          f"({result.connections} connections)")
+    print(f"errors:     {row['errors']} ({row['error_pct']}% of "
+          "measured ops)")
+    fault_windows = [w for name in nodes
+                     for w in schedule.outage_windows(name)]
+    print()
+    print(result.timeline.render(fault_windows=fault_windows))
     return 0
 
 
@@ -119,6 +181,40 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--ops", type=int, default=6000)
     run_parser.add_argument("--seed", type=int, default=42)
 
+    chaos_parser = sub.add_parser(
+        "chaos", help="run a fault-injection experiment")
+    chaos_parser.add_argument("-s", "--store", choices=STORE_NAMES,
+                              required=True)
+    chaos_parser.add_argument("-w", "--workload", choices=list(WORKLOADS),
+                              default="R")
+    chaos_parser.add_argument("-n", "--nodes", type=int, default=4)
+    chaos_parser.add_argument("-c", "--cluster", choices=("M", "D"),
+                              default="M")
+    chaos_parser.add_argument("--records", type=int, default=20_000,
+                              help="records per node (scaled data set)")
+    chaos_parser.add_argument("--seed", type=int, default=42)
+    chaos_parser.add_argument("--duration", type=float, default=8.0,
+                              help="simulated seconds to run")
+    chaos_parser.add_argument("--crash", action="append", metavar="NODE",
+                              help="node to crash (repeatable; "
+                                   "default server-0)")
+    chaos_parser.add_argument("--at", type=float, default=2.0,
+                              help="crash time (simulated seconds)")
+    chaos_parser.add_argument("--restart-after", type=float, default=None,
+                              help="restart the node this long after the "
+                                   "crash (default: stays down)")
+    chaos_parser.add_argument("--random", type=int, default=0,
+                              metavar="N",
+                              help="instead of --crash: N seeded-random "
+                                   "crashes with restarts")
+    chaos_parser.add_argument("--window", type=float, default=0.25,
+                              help="availability-timeline bucket (s)")
+    chaos_parser.add_argument("--rf", type=int, default=None,
+                              help="replication factor (cassandra)")
+    chaos_parser.add_argument("--consistency", default=None,
+                              choices=("one", "quorum", "all"),
+                              help="consistency level (cassandra)")
+
     figure_parser = sub.add_parser("figure",
                                    help="regenerate a paper figure")
     figure_parser.add_argument("figure",
@@ -143,6 +239,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "chaos": _cmd_chaos,
         "figure": _cmd_figure,
         "capacity": _cmd_capacity,
     }

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and resilience measurement.
+
+The paper ran every experiment fault-free at replication factor 1 and
+left failure behaviour as future work (Section 8).  This package closes
+that gap on the simulated substrate:
+
+* :mod:`repro.faults.schedule` — a DSL for chaos plans (node crashes
+  and restarts, network partitions, slow disks) at absolute simulated
+  times or drawn from a seeded random process;
+* :mod:`repro.faults.chaos` — the controller process that applies a
+  schedule to a live cluster and notifies deployed stores;
+* :mod:`repro.faults.availability` — windowed throughput/error-rate
+  timelines, the measurement that makes degradation and recovery
+  visible.
+
+Failure *handling* lives where the paper's architectures have it: the
+YCSB client retries with backoff (:class:`repro.stores.base.RetryPolicy`),
+Cassandra coordinators fail over across replicas and queue hinted
+handoffs, the HBase master reassigns regions, and the client-sharded
+Redis/MySQL deployments lose the crashed shard's keyspace outright —
+their single-point-of-failure design.
+"""
+
+from repro.faults.availability import AvailabilityTimeline, AvailabilityWindow
+from repro.faults.chaos import ChaosController
+from repro.faults.schedule import FaultAction, FaultKind, FaultSchedule
+from repro.sim.faults import (
+    FaultError,
+    NodeDownError,
+    PartitionedError,
+    ResourceDrainedError,
+    UnavailableError,
+)
+
+__all__ = [
+    "AvailabilityTimeline",
+    "AvailabilityWindow",
+    "ChaosController",
+    "FaultAction",
+    "FaultKind",
+    "FaultSchedule",
+    "FaultError",
+    "NodeDownError",
+    "PartitionedError",
+    "ResourceDrainedError",
+    "UnavailableError",
+]

@@ -1,0 +1,148 @@
+"""Availability timelines: windowed throughput and error-rate series.
+
+The paper reports scalar throughput over a fault-free measurement
+window; an availability experiment needs the *time series* instead —
+how many operations completed and how many failed in each small window,
+so a fault's impact and the recovery afterwards are visible.  The
+timeline buckets completed operations into fixed-width windows of
+simulated time; rendering is fully deterministic (the determinism test
+asserts byte-identical output for a fixed seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AvailabilityWindow", "AvailabilityTimeline"]
+
+
+@dataclass(frozen=True)
+class AvailabilityWindow:
+    """Operation counts over one ``[start, end)`` slice of sim time."""
+
+    start: float
+    end: float
+    ops: int
+    errors: int
+
+    @property
+    def duration(self) -> float:
+        """Window width in simulated seconds."""
+        return self.end - self.start
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of completed operations that failed (0 when idle)."""
+        return self.errors / self.ops if self.ops else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations (successes + errors) per second."""
+        return self.ops / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Successful operations per second."""
+        if self.duration <= 0:
+            return 0.0
+        return (self.ops - self.errors) / self.duration
+
+
+class AvailabilityTimeline:
+    """Fixed-width windowed counts of completed operations and errors."""
+
+    def __init__(self, window_s: float = 0.25):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self.window_s = window_s
+        self._ops: dict[int, int] = {}
+        self._errors: dict[int, int] = {}
+
+    def record(self, now: float, error: bool) -> None:
+        """Count one operation completing at simulated time ``now``."""
+        index = int(now / self.window_s)
+        self._ops[index] = self._ops.get(index, 0) + 1
+        if error:
+            self._errors[index] = self._errors.get(index, 0) + 1
+
+    def windows(self) -> list[AvailabilityWindow]:
+        """The contiguous series from t=0 through the last active window."""
+        if not self._ops:
+            return []
+        last = max(self._ops)
+        return [
+            AvailabilityWindow(
+                start=index * self.window_s,
+                end=(index + 1) * self.window_s,
+                ops=self._ops.get(index, 0),
+                errors=self._errors.get(index, 0),
+            )
+            for index in range(last + 1)
+        ]
+
+    # -- aggregates over a sub-interval ---------------------------------------
+
+    def _between(self, t0: float, t1: float) -> list[AvailabilityWindow]:
+        return [w for w in self.windows() if w.start >= t0 and w.end <= t1]
+
+    def error_rate_between(self, t0: float, t1: float) -> float:
+        """Pooled error rate over windows fully inside ``[t0, t1]``."""
+        selected = self._between(t0, t1)
+        ops = sum(w.ops for w in selected)
+        errors = sum(w.errors for w in selected)
+        return errors / ops if ops else 0.0
+
+    def throughput_between(self, t0: float, t1: float) -> float:
+        """Mean completed-ops/s over windows fully inside ``[t0, t1]``."""
+        selected = self._between(t0, t1)
+        span = sum(w.duration for w in selected)
+        return sum(w.ops for w in selected) / span if span > 0 else 0.0
+
+    def goodput_between(self, t0: float, t1: float) -> float:
+        """Mean successful-ops/s over windows fully inside ``[t0, t1]``."""
+        selected = self._between(t0, t1)
+        span = sum(w.duration for w in selected)
+        if span <= 0:
+            return 0.0
+        return sum(w.ops - w.errors for w in selected) / span
+
+    # -- deterministic rendering ----------------------------------------------
+
+    def to_text(self) -> str:
+        """A canonical textual rendering (determinism contract + CLI).
+
+        One line per window: ``start end ops errors``.  Two runs with the
+        same seed and schedule must produce byte-identical output.
+        """
+        lines = [
+            f"{w.start:.6f} {w.end:.6f} {w.ops} {w.errors}"
+            for w in self.windows()
+        ]
+        return "\n".join(lines)
+
+    def render(self, fault_windows: list[tuple[float, float]] | None = None,
+               width: int = 40) -> str:
+        """An aligned human-readable table with a throughput bar.
+
+        ``fault_windows`` marks windows overlapping a scheduled outage
+        with ``*`` so the degradation is visible at a glance.
+        """
+        windows = self.windows()
+        if not windows:
+            return "(no operations recorded)"
+        peak = max(w.throughput for w in windows) or 1.0
+        lines = [f"{'window':>13}  {'ops/s':>9}  {'err%':>6}  "]
+        for w in windows:
+            marker = " "
+            for t0, t1 in fault_windows or []:
+                if w.start < t1 and w.end > t0:
+                    marker = "*"
+                    break
+            bar = "#" * int(round(w.throughput / peak * width))
+            lines.append(
+                f"{w.start:6.2f}-{w.end:<6.2f} {marker}"
+                f"{w.throughput:>9,.0f}  {w.error_rate * 100:>5.1f}%  {bar}"
+            )
+        if fault_windows:
+            lines.append("(* = window overlaps a scheduled fault)")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""The chaos controller: executes a fault schedule against a cluster.
+
+The controller is itself a simulation process.  At each scheduled fault
+time it drives the node lifecycle — :meth:`~repro.sim.cluster.Node.fail`
+drains the node's resource queues and drops it off the network,
+:meth:`~repro.sim.cluster.Node.recover` brings it back with cold caches —
+and applies partition filters / disk degradations at the network and
+disk layers.  Deployed stores subscribe as listeners so they can react
+the way their real counterparts do (Cassandra replays hinted handoffs,
+the HBase master reassigns regions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.schedule import FaultAction, FaultKind, FaultSchedule
+from repro.sim.cluster import Cluster, Node
+from repro.sim.kernel import Process
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Drives a :class:`FaultSchedule` against a live cluster."""
+
+    def __init__(self, cluster: Cluster, schedule: FaultSchedule):
+        self.cluster = cluster
+        self.schedule = schedule
+        self._listeners: list[object] = []
+        #: Applied actions as ``(sim_time, description)`` pairs.
+        self.log: list[tuple[float, str]] = []
+
+    def subscribe(self, listener: object) -> None:
+        """Register a listener with ``on_node_down`` / ``on_node_up`` hooks.
+
+        Both hooks are optional; stores use them for failure *handling*
+        (hinted-handoff replay, region reassignment).
+        """
+        self._listeners.append(listener)
+
+    def start(self) -> Optional[Process]:
+        """Launch the controller process (no-op for an empty schedule)."""
+        if not len(self.schedule):
+            return None
+        return self.cluster.sim.process(self._run(), name="chaos")
+
+    # -- execution -----------------------------------------------------------
+
+    def _run(self):
+        sim = self.cluster.sim
+        for action in self.schedule.actions():
+            delay = action.at - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            self._apply(action)
+
+    def _notify(self, hook: str, node: Node) -> None:
+        for listener in self._listeners:
+            method = getattr(listener, hook, None)
+            if method is not None:
+                method(node)
+
+    def _apply(self, action: FaultAction) -> None:
+        cluster = self.cluster
+        if action.kind is FaultKind.CRASH:
+            node = cluster.node(action.target)
+            node.fail()
+            self._notify("on_node_down", node)
+        elif action.kind is FaultKind.RESTART:
+            node = cluster.node(action.target)
+            node.recover()
+            self._notify("on_node_up", node)
+        elif action.kind is FaultKind.PARTITION:
+            cluster.network.partition(action.groups)
+        elif action.kind is FaultKind.HEAL:
+            cluster.network.heal()
+        elif action.kind is FaultKind.SLOW_DISK:
+            cluster.node(action.target).disk.degrade(action.factor)
+        elif action.kind is FaultKind.RESTORE_DISK:
+            cluster.node(action.target).disk.restore()
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown fault kind {action.kind!r}")
+        self.log.append((cluster.sim.now, action.describe()))

@@ -1,0 +1,192 @@
+"""The fault-schedule DSL.
+
+A :class:`FaultSchedule` is a deterministic plan of infrastructure
+faults over simulated time: node crashes (with optional restarts),
+network partitions (with optional heals), and slow-disk degradations.
+Schedules are built either explicitly at absolute times::
+
+    schedule = (FaultSchedule()
+                .crash("server-1", at=2.0, restart_after=3.0)
+                .slow_disk("server-2", at=1.0, factor=8.0, duration=2.0))
+
+or drawn from a seeded random process (:meth:`FaultSchedule.random`),
+so chaos runs stay exactly reproducible — the same seed yields the same
+byte-identical availability timeline, which the determinism tests pin.
+
+The schedule is pure data; :class:`repro.faults.chaos.ChaosController`
+executes it against a live cluster.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["FaultKind", "FaultAction", "FaultSchedule"]
+
+
+class FaultKind(enum.Enum):
+    """The fault vocabulary the chaos controller understands."""
+
+    CRASH = "crash"
+    RESTART = "restart"
+    PARTITION = "partition"
+    HEAL = "heal"
+    SLOW_DISK = "slow_disk"
+    RESTORE_DISK = "restore_disk"
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault transition."""
+
+    at: float
+    kind: FaultKind
+    #: Node name for node-scoped faults (crash/restart/slow-disk).
+    target: Optional[str] = None
+    #: Partition groups for PARTITION actions.
+    groups: tuple[tuple[str, ...], ...] = ()
+    #: Disk service-time multiplier for SLOW_DISK actions.
+    factor: float = 1.0
+
+    def describe(self) -> str:
+        """A one-line human-readable rendering (chaos log, CLI)."""
+        if self.kind is FaultKind.PARTITION:
+            sides = " | ".join(",".join(g) for g in self.groups)
+            return f"partition [{sides}]"
+        if self.kind is FaultKind.HEAL:
+            return "heal partition"
+        if self.kind is FaultKind.SLOW_DISK:
+            return f"slow disk {self.target} x{self.factor:g}"
+        if self.kind is FaultKind.RESTORE_DISK:
+            return f"restore disk {self.target}"
+        return f"{self.kind.value} {self.target}"
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered plan of fault actions over simulated time."""
+
+    _actions: list[FaultAction] = field(default_factory=list)
+
+    def _add(self, action: FaultAction) -> "FaultSchedule":
+        if action.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {action.at}")
+        self._actions.append(action)
+        return self
+
+    # -- the DSL -------------------------------------------------------------
+
+    def crash(self, node: str, at: float,
+              restart_after: Optional[float] = None) -> "FaultSchedule":
+        """Crash ``node`` at time ``at``; optionally restart it later."""
+        self._add(FaultAction(at, FaultKind.CRASH, target=node))
+        if restart_after is not None:
+            if restart_after <= 0:
+                raise ValueError("restart_after must be > 0")
+            self._add(FaultAction(at + restart_after, FaultKind.RESTART,
+                                  target=node))
+        return self
+
+    def restart(self, node: str, at: float) -> "FaultSchedule":
+        """Restart a previously crashed ``node`` at time ``at``."""
+        return self._add(FaultAction(at, FaultKind.RESTART, target=node))
+
+    def partition(self, groups: Sequence[Iterable[str]], at: float,
+                  heal_after: Optional[float] = None) -> "FaultSchedule":
+        """Split the network into ``groups`` at ``at``; optionally heal."""
+        frozen = tuple(tuple(g) for g in groups)
+        if len(frozen) < 2:
+            raise ValueError("a partition needs at least two groups")
+        self._add(FaultAction(at, FaultKind.PARTITION, groups=frozen))
+        if heal_after is not None:
+            if heal_after <= 0:
+                raise ValueError("heal_after must be > 0")
+            self._add(FaultAction(at + heal_after, FaultKind.HEAL))
+        return self
+
+    def slow_disk(self, node: str, at: float, factor: float,
+                  duration: Optional[float] = None) -> "FaultSchedule":
+        """Degrade ``node``'s disk by ``factor``; optionally restore."""
+        if factor < 1.0:
+            raise ValueError(f"slow-disk factor must be >= 1.0, got {factor}")
+        self._add(FaultAction(at, FaultKind.SLOW_DISK, target=node,
+                              factor=factor))
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be > 0")
+            self._add(FaultAction(at + duration, FaultKind.RESTORE_DISK,
+                                  target=node))
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def actions(self) -> list[FaultAction]:
+        """All actions in execution order (time, then insertion order)."""
+        ordered = sorted(enumerate(self._actions),
+                         key=lambda pair: (pair[1].at, pair[0]))
+        return [action for __, action in ordered]
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def outage_windows(self, node: str) -> list[tuple[float, float]]:
+        """The [crash, restart) intervals scheduled for ``node``.
+
+        An unrestarted crash yields an open interval ending at ``inf``.
+        """
+        windows: list[tuple[float, float]] = []
+        down_since: Optional[float] = None
+        for action in self.actions():
+            if action.target != node:
+                continue
+            if action.kind is FaultKind.CRASH and down_since is None:
+                down_since = action.at
+            elif action.kind is FaultKind.RESTART and down_since is not None:
+                windows.append((down_since, action.at))
+                down_since = None
+        if down_since is not None:
+            windows.append((down_since, float("inf")))
+        return windows
+
+    # -- seeded-random construction -------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, nodes: Sequence[str], horizon_s: float,
+               n_crashes: int = 1,
+               min_outage_s: float = 0.5,
+               max_outage_s: Optional[float] = None,
+               restart_probability: float = 1.0,
+               slow_disk_probability: float = 0.0,
+               slow_disk_factor: float = 8.0) -> "FaultSchedule":
+        """A reproducible random chaos plan over ``[0, horizon_s)``.
+
+        Crash times land in the middle 70% of the horizon so the run has
+        a pristine lead-in and (usually) a post-recovery tail.  The same
+        ``seed`` always produces the same schedule.
+        """
+        if not nodes:
+            raise ValueError("need at least one node to schedule faults on")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be > 0")
+        rng = random.Random(seed)
+        max_outage = max_outage_s if max_outage_s is not None else \
+            max(min_outage_s, 0.3 * horizon_s)
+        schedule = cls()
+        for __ in range(n_crashes):
+            target = rng.choice(list(nodes))
+            at = rng.uniform(0.15 * horizon_s, 0.85 * horizon_s)
+            if rng.random() < restart_probability:
+                outage = rng.uniform(min_outage_s, max_outage)
+                schedule.crash(target, at=at, restart_after=outage)
+            else:
+                schedule.crash(target, at=at)
+        for name in nodes:
+            if rng.random() < slow_disk_probability:
+                at = rng.uniform(0.1 * horizon_s, 0.7 * horizon_s)
+                duration = rng.uniform(min_outage_s, max_outage)
+                schedule.slow_disk(name, at=at, factor=slow_disk_factor,
+                                   duration=duration)
+        return schedule

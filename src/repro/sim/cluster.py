@@ -117,7 +117,44 @@ class Node:
         self.cpus = Resource(sim, spec.cores, f"cpu:{name}")
         self.disk = Disk(sim, spec.disk, name)
         self.page_cache = PageCache(spec.cache_bytes)
+        #: Liveness flag driven by the fault-injection layer.
+        self.up = True
+        #: Monotone restart counter: bumps on every recovery, so stores
+        #: can tell a freshly restarted node (cold caches) from the one
+        #: that crashed.
+        self.epoch = 0
         network.attach(name)
+
+    def fail(self) -> None:
+        """Crash the node: drain its resources and drop off the network.
+
+        Queued CPU/disk grants fail (their waiting processes receive
+        :class:`~repro.sim.faults.ResourceDrainedError`); in-flight and
+        future messages to or from the node fail at the network layer;
+        new resource claims are refused until :meth:`recover`.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.cpus.shut_down()
+        self.disk.queue.shut_down()
+        self.network.set_host_down(self.name)
+
+    def recover(self) -> None:
+        """Restart a crashed node with cold caches.
+
+        Durable state (whatever the store persisted) survives; the page
+        cache does not — the restarted node re-reads from disk, exactly
+        the post-restart cold-cache penalty a real cluster pays.
+        """
+        if self.up:
+            return
+        self.up = True
+        self.epoch += 1
+        self.cpus.restore()
+        self.disk.queue.restore()
+        self.network.set_host_up(self.name)
+        self.page_cache.evict_all()
 
     def cpu(self, cost_s: float):
         """Process: execute ``cost_s`` seconds of single-core work here.
@@ -162,6 +199,13 @@ class Cluster:
     def n_servers(self) -> int:
         """Number of storage server nodes."""
         return len(self.servers)
+
+    def node(self, name: str) -> Node:
+        """Look up a server or client node by name (fault targeting)."""
+        for candidate in self.servers + self.clients:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no node named {name!r} in cluster")
 
     def client_for_connection(self, connection_index: int) -> Node:
         """Spread client connections round-robin over client machines."""

@@ -54,12 +54,26 @@ class Disk:
         self.bytes_written = 0
         self.reads = 0
         self.writes = 0
+        #: Service-time multiplier for a degraded spindle (fault injection:
+        #: a failing disk retries sectors / a RAID array rebuilds).
+        self.degrade_factor = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Slow every access by ``factor`` (>= 1.0; 1.0 restores health)."""
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1.0, got {factor}")
+        self.degrade_factor = factor
+
+    def restore(self) -> None:
+        """Return the disk to full speed."""
+        self.degrade_factor = 1.0
 
     def read(self, nbytes: int, sequential: bool = False):
         """Process: read ``nbytes`` (random unless ``sequential``)."""
         self.reads += 1
         self.bytes_read += nbytes
-        duration = self.spec.access_time(nbytes, sequential)
+        duration = (self.spec.access_time(nbytes, sequential)
+                    * self.degrade_factor)
         yield self.sim.process(self.queue.use(duration))
 
     def write(self, nbytes: int, sequential: bool = True, sync: bool = True):
@@ -79,8 +93,9 @@ class Disk:
         if not sync:
             yield self.sim.timeout(2e-6)
             return
-        duration = (self.spec.access_time(nbytes, sequential)
-                    + self.spec.rotational_latency_s)
+        duration = ((self.spec.access_time(nbytes, sequential)
+                     + self.spec.rotational_latency_s)
+                    * self.degrade_factor)
         yield self.sim.process(self.queue.use(duration))
 
 

@@ -1,0 +1,44 @@
+"""Fault-condition exceptions raised by the simulated substrate.
+
+These are the errors a real client library surfaces when the cluster
+degrades: connection refused from a crashed node, a request timing out
+into a network partition, an RPC aborted because the server process died
+mid-operation.  They live at the ``sim`` layer (below the stores) so the
+network, resource, and cluster models can raise them without depending
+on the store or chaos machinery above.
+
+Stores and the YCSB client treat every :class:`FaultError` as a
+*retryable* infrastructure failure, distinct from
+:class:`repro.stores.base.OpError` (a store-level semantic failure such
+as Redis running out of memory, which retrying cannot fix).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "NodeDownError",
+    "PartitionedError",
+    "ResourceDrainedError",
+    "UnavailableError",
+]
+
+
+class FaultError(Exception):
+    """Base class for injected-fault failures (retryable by clients)."""
+
+
+class NodeDownError(FaultError):
+    """The target node is down: connection refused / reset."""
+
+
+class PartitionedError(FaultError):
+    """The target is unreachable across a network partition (timeout)."""
+
+
+class ResourceDrainedError(FaultError):
+    """A pending resource grant was failed because its node crashed."""
+
+
+class UnavailableError(FaultError):
+    """Too few live replicas to satisfy the requested consistency level."""

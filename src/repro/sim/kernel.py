@@ -235,10 +235,15 @@ class KOf(Event):
 
     The quorum-wait building block: a replicated write resumes once the
     required acknowledgements arrive while the stragglers complete in
-    the background.  Fails on the first child failure.
+    the background.  Child failures are tolerated as long as the quorum
+    is still achievable — with ``n`` children, up to ``n - k`` failures
+    are absorbed; the ``(n - k + 1)``-th failure makes ``k`` successes
+    impossible and fails the quorum with that child's exception.  This
+    is what lets a replicated write survive a crashed replica when the
+    survivors still form a quorum.
     """
 
-    __slots__ = ("_needed",)
+    __slots__ = ("_needed", "_failures_left")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event], k: int):
         super().__init__(sim)
@@ -248,6 +253,7 @@ class KOf(Event):
                 f"need 0 <= k <= {len(children)}, got {k}"
             )
         self._needed = k
+        self._failures_left = len(children) - k
         if k == 0:
             self.succeed()
             return
@@ -261,7 +267,9 @@ class KOf(Event):
         if self._triggered:
             return
         if not child.ok:
-            self.fail(child._value)
+            self._failures_left -= 1
+            if self._failures_left < 0:
+                self.fail(child._value)
             return
         self._needed -= 1
         if self._needed == 0:

@@ -18,8 +18,9 @@ The model captures the two effects the paper's results depend on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.sim.faults import NodeDownError, PartitionedError
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
 
@@ -36,6 +37,11 @@ class NetworkSpec:
     bandwidth_bytes_per_s: float = 125_000_000.0  # 1 Gb/s
     latency_s: float = 100e-6  # one-way propagation + switching
     per_message_overhead_bytes: int = 66  # ethernet + IP + TCP headers
+    #: How long a sender waits before giving up on a silently-dropped
+    #: message (a partitioned peer): the client-side connect/read timeout.
+    #: A *crashed* peer answers with a TCP reset instead, so that failure
+    #: costs only one round trip, not this timeout.
+    unreachable_timeout_s: float = 0.25
 
     def wire_time(self, nbytes: int) -> float:
         """Serialisation time for a message of ``nbytes`` payload bytes."""
@@ -55,8 +61,12 @@ class Network:
         self.spec = spec
         self._egress: dict[str, Resource] = {}
         self._ingress: dict[str, Resource] = {}
+        self._down: set[str] = set()
+        #: node name -> partition group id; ``None`` when the net is whole.
+        self._partition: dict[str, int] | None = None
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_failed = 0
 
     def attach(self, node_name: str) -> None:
         """Register a node's NIC queues with the switch."""
@@ -67,17 +77,78 @@ class Network:
         """The egress NIC resource for diagnostics."""
         return self._egress[node_name]
 
+    # -- fault state ---------------------------------------------------------
+
+    def set_host_down(self, node_name: str) -> None:
+        """Mark a crashed node: its NIC queues drain, peers get resets."""
+        self._down.add(node_name)
+        self._egress[node_name].shut_down()
+        self._ingress[node_name].shut_down()
+
+    def set_host_up(self, node_name: str) -> None:
+        """Bring a restarted node back onto the wire."""
+        self._down.discard(node_name)
+        self._egress[node_name].restore()
+        self._ingress[node_name].restore()
+
+    def host_is_down(self, node_name: str) -> bool:
+        """Whether ``node_name`` is currently crashed."""
+        return node_name in self._down
+
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Split the switch into isolated groups of nodes.
+
+        Messages within a group flow normally; messages across groups are
+        silently dropped (the sender burns its read timeout).  Nodes not
+        named in any group form one implicit extra group together.
+        """
+        membership: dict[str, int] = {}
+        for group_id, group in enumerate(groups):
+            for name in group:
+                membership[name] = group_id
+        self._partition = membership
+
+    def heal(self) -> None:
+        """Remove any network partition."""
+        self._partition = None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether the partition (if any) lets ``src`` reach ``dst``."""
+        if self._partition is None or src == dst:
+            return True
+        implicit = len(self._partition) + 1  # shared group for unlisted nodes
+        return (self._partition.get(src, implicit)
+                == self._partition.get(dst, implicit))
+
+    # -- data path -----------------------------------------------------------
+
     def transfer(self, src: str, dst: str, nbytes: int):
         """Process: move ``nbytes`` from node ``src`` to node ``dst``.
 
         Same-node transfers (client co-located with a server process) skip
-        the wire entirely but still pay a small loopback cost.
+        the wire entirely but still pay a small loopback cost.  Degraded
+        conditions surface as exceptions: a crashed *destination* answers
+        with a reset after one propagation delay, a crashed *source* means
+        the sending process's own node died (it fails immediately), and a
+        partitioned destination drops the message so the sender waits out
+        its read timeout before failing.
         """
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        if src in self._down:
+            self.messages_failed += 1
+            raise NodeDownError(f"{src} is down")
         if src == dst:
             yield self.sim.timeout(5e-6)
             return
+        if not self.reachable(src, dst):
+            self.messages_failed += 1
+            yield self.sim.timeout(self.spec.unreachable_timeout_s)
+            raise PartitionedError(f"{src} cannot reach {dst} (partition)")
+        if dst in self._down:
+            self.messages_failed += 1
+            yield self.sim.timeout(2 * self.spec.latency_s)  # SYN + RST
+            raise NodeDownError(f"connection refused: {dst} is down")
         wire = self.spec.wire_time(nbytes)
         yield self.sim.process(self._egress[src].use(wire))
         yield self.sim.timeout(self.spec.latency_s)

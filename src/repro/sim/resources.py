@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.sim.faults import ResourceDrainedError
 from repro.sim.kernel import Event, SimulationError, Simulator
 
 __all__ = ["Request", "Resource", "ResourceStats"]
@@ -67,6 +68,12 @@ class Resource:
         self.stats = ResourceStats()
         self._in_use = 0
         self._queue: deque[Request] = deque()
+        self._down = False
+
+    @property
+    def down(self) -> bool:
+        """Whether the resource's node has crashed (requests fail fast)."""
+        return self._down
 
     @property
     def in_use(self) -> int:
@@ -88,10 +95,16 @@ class Resource:
         self.stats._last_change = now
 
     def request(self) -> Request:
-        """Claim a slot; the returned event fires when the slot is granted."""
+        """Claim a slot; the returned event fires when the slot is granted.
+
+        On a crashed node the claim fails immediately with
+        :class:`ResourceDrainedError` — the station no longer serves.
+        """
         req = Request(self)
         self.stats.requests += 1
-        if self._in_use < self.capacity:
+        if self._down:
+            req.fail(ResourceDrainedError(f"{self.name} is down"))
+        elif self._in_use < self.capacity:
             self._grant(req)
         else:
             self._queue.append(req)
@@ -116,6 +129,26 @@ class Resource:
         self._in_use -= 1
         if self._queue and self._in_use < self.capacity:
             self._grant(self._queue.popleft())
+
+    def shut_down(self) -> None:
+        """Crash the station: fail every queued grant, refuse new ones.
+
+        Requests already *granted* keep their slot — the holder finishes
+        its (now meaningless) service and releases; whatever it does next
+        on the dead node fails.  Queued requests are drained by failing
+        their events, which throws :class:`ResourceDrainedError` into the
+        waiting processes.
+        """
+        if self._down:
+            return
+        self._down = True
+        drained, self._queue = self._queue, deque()
+        for req in drained:
+            req.fail(ResourceDrainedError(f"{self.name} went down"))
+
+    def restore(self) -> None:
+        """Bring a crashed station back into service (node restart)."""
+        self._down = False
 
     def use(self, duration: float):
         """Convenience process: acquire a slot, hold it for ``duration``.

@@ -11,7 +11,7 @@ participates, i.e. a full merge).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.storage.lsm.sstable import (
     SSTable,
@@ -24,7 +24,8 @@ __all__ = ["CompactionTask", "SizeTieredCompaction", "merge_sstables"]
 
 
 def merge_sstables(tables: Sequence[SSTable], drop_tombstones: bool,
-                   bloom_fp_rate: float = 0.01) -> SSTable:
+                   bloom_fp_rate: float = 0.01,
+                   generation: int | None = None) -> SSTable:
     """K-way merge of runs; per-entry sequence numbers resolve conflicts."""
     by_key: dict[str, list[Versioned]] = {}
     for table in tables:
@@ -36,7 +37,8 @@ def merge_sstables(tables: Sequence[SSTable], drop_tombstones: bool,
         if drop_tombstones and resolved.value is TOMBSTONE:
             continue
         merged.append((key, resolved))
-    return SSTable(merged, bloom_fp_rate=bloom_fp_rate)
+    return SSTable(merged, bloom_fp_rate=bloom_fp_rate,
+                   generation=generation)
 
 
 @dataclass
@@ -63,6 +65,11 @@ class SizeTieredCompaction:
     bucket_low: float = 0.5
     bucket_high: float = 1.5
     bloom_fp_rate: float = 0.01
+    #: Allocator for the merged run's generation id.  The engine passes
+    #: its per-engine counter so generations — which seed the block-id
+    #: layout of the page-cache model — never depend on how many engines
+    #: ran earlier in the process (run-to-run determinism).
+    generation_source: Optional[Callable[[], int]] = None
     compactions_run: int = field(default=0, init=False)
 
     def _buckets(self, tables: Sequence[SSTable]) -> list[list[SSTable]]:
@@ -95,7 +102,10 @@ class SizeTieredCompaction:
         # Prefer the bucket with the most (smallest) tables, like Cassandra.
         bucket = max(candidates, key=len)[: self.max_threshold]
         drop_tombstones = len(bucket) == len(tables)
-        output = merge_sstables(bucket, drop_tombstones, self.bloom_fp_rate)
+        generation = (self.generation_source()
+                      if self.generation_source is not None else None)
+        output = merge_sstables(bucket, drop_tombstones, self.bloom_fp_rate,
+                                generation=generation)
         self.compactions_run += 1
         return CompactionTask(
             inputs=list(bucket),

@@ -13,6 +13,7 @@ leaves the runs in.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
@@ -80,10 +81,16 @@ class LSMEngine:
         self.memtable = Memtable(seed=seed)
         self.commit_log = CommitLog(group_commit_ops=config.group_commit_ops)
         self.sstables: list[SSTable] = []
+        #: Per-engine generation counter.  Generations seed the page-cache
+        #: block layout, so they must depend only on this engine's own
+        #: history — the process-global SSTable counter would make a run's
+        #: cache behaviour vary with whatever ran earlier in the process.
+        self._generations = 0
         self.compaction = SizeTieredCompaction(
             min_threshold=config.min_compaction_threshold,
             max_threshold=config.max_compaction_threshold,
             bloom_fp_rate=config.bloom_fp_rate,
+            generation_source=self._allocate_generation,
         )
         self.flushes = 0
         self.reads = 0
@@ -93,6 +100,10 @@ class LSMEngine:
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
+
+    def _allocate_generation(self) -> int:
+        self._generations += 1
+        return self._generations
 
     # -- write path ---------------------------------------------------------
 
@@ -128,7 +139,8 @@ class LSMEngine:
         items = self.memtable.sorted_items()
         if not items:
             return 0
-        table = SSTable(items, bloom_fp_rate=self.config.bloom_fp_rate)
+        table = SSTable(items, bloom_fp_rate=self.config.bloom_fp_rate,
+                        generation=self._allocate_generation())
         self.sstables.append(table)
         self.flushes += 1
         active = self.commit_log.active_segment.index
@@ -150,8 +162,14 @@ class LSMEngine:
     # -- read path ------------------------------------------------------------
 
     def _block_of(self, table: SSTable, key: str) -> tuple:
-        """Block id a key's entry lives in, for the page-cache model."""
-        offset_proxy = hash((table.generation, key))
+        """Block id a key's entry lives in, for the page-cache model.
+
+        The offset proxy must be a *deterministic* hash: built-in
+        ``hash()`` on strings is salted per process, which would make
+        cache hit patterns — and so every measured number — unrepeatable
+        across invocations.
+        """
+        offset_proxy = zlib.crc32(f"{table.generation}:{key}".encode())
         n_blocks = max(1, table.size_bytes // self.config.block_size)
         return ("sst", self.name, table.generation, offset_proxy % n_blocks)
 

@@ -22,7 +22,8 @@ from typing import Iterable, Mapping, Optional, Sequence
 from repro.sim.cluster import Cluster, Node
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
 
-__all__ = ["OpType", "OpError", "ServiceProfile", "Store", "StoreSession"]
+__all__ = ["OpType", "OpError", "RetryPolicy", "ServiceProfile", "Store",
+           "StoreSession"]
 
 
 class OpType(enum.Enum):
@@ -37,6 +38,34 @@ class OpType(enum.Enum):
 
 class OpError(Exception):
     """A store-level operation failure (e.g. Redis OOM)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a store's client library reacts to infrastructure faults.
+
+    Infrastructure faults (:class:`repro.sim.faults.FaultError` — a
+    crashed node, a partitioned peer, a drained resource) are retried up
+    to ``max_attempts`` total tries with exponential backoff between
+    them; store-level :class:`OpError` failures are never retried.  The
+    backoff happens *inside* the timed operation, exactly as a blocking
+    driver's reconnect loop does, so fault handling shows up in measured
+    latency — not hidden from it.
+    """
+
+    max_attempts: int = 2
+    backoff_s: float = 0.02
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1 = first retry)."""
+        return self.backoff_s * self.backoff_multiplier ** (attempt - 1)
 
 
 @dataclass(frozen=True)
@@ -168,6 +197,33 @@ class Store:
         set up to its capacity (all of it on Cluster M, a fraction on
         Cluster D).  Stores with on-disk structures override this to
         mark their blocks resident; in-memory stores need nothing.
+        """
+
+    # -- fault handling --------------------------------------------------------
+
+    @classmethod
+    def retry_policy(cls) -> RetryPolicy:
+        """Default client-side retry behaviour against this store.
+
+        The base policy retries an infrastructure fault once — a plain
+        driver reconnect.  Stores with real failover (Cassandra's
+        coordinator rerouting, the HBase client riding out a region
+        reassignment) override this with deeper retry budgets.
+        """
+        return RetryPolicy()
+
+    def on_node_down(self, node: Node) -> None:
+        """Chaos-controller hook: ``node`` just crashed.
+
+        Stores with an active control plane (the HBase master) override
+        this to start failure handling; the default architecture has no
+        component that notices.
+        """
+
+    def on_node_up(self, node: Node) -> None:
+        """Chaos-controller hook: ``node`` just restarted.
+
+        Cassandra overrides this to replay hinted handoffs.
         """
 
     # -- connection policy ---------------------------------------------------

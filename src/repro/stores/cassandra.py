@@ -22,9 +22,15 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from repro.sim.cluster import Cluster, Node
+from repro.sim.faults import UnavailableError
 from repro.storage.lsm import LSMConfig, LSMEngine
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
-from repro.stores.base import ServiceProfile, Store, StoreSession
+from repro.stores.base import (
+    RetryPolicy,
+    ServiceProfile,
+    Store,
+    StoreSession,
+)
 from repro.stores.sharding import TokenRing
 
 __all__ = ["CassandraStore", "CassandraSession"]
@@ -83,6 +89,12 @@ class CassandraStore(Store):
             LSMEngine(lsm_config, seed=i, name=f"cassandra-{i}")
             for i in range(cluster.n_servers)
         ]
+        #: Hinted handoff queues: mutations for a down replica, held by
+        #: the coordinator side and replayed when the node returns
+        #: (Cassandra's standard path for writes during an outage).
+        self.hints: dict[int, list[tuple[str, dict]]] = {}
+        self.hints_queued = 0
+        self.hints_replayed = 0
 
     #: CPU per operation spent in the (de)compression codec when SSTable
     #: compression is enabled.
@@ -138,6 +150,61 @@ class CassandraStore(Store):
         if self.consistency_level == "quorum":
             return self.replication_factor // 2 + 1
         return self.replication_factor
+
+    @classmethod
+    def retry_policy(cls) -> RetryPolicy:
+        """The driver reroutes fast: three tries, short backoff."""
+        return RetryPolicy(max_attempts=3, backoff_s=0.01)
+
+    # -- failure handling ------------------------------------------------------
+
+    def node_is_up(self, index: int) -> bool:
+        """Liveness of server ``index`` as the gossip/driver layer sees it."""
+        return self.cluster.servers[index].up
+
+    def live_replica_of(self, key: str) -> int:
+        """The first live replica of ``key`` — the read failover path.
+
+        Reads run at consistency ONE (the paper's setting): any live
+        replica serves.  With every replica down the operation is
+        unavailable — at RF=1 a single crash therefore blacks out that
+        token range, exactly the single-copy semantics the paper ran.
+        """
+        for replica in self.ring.replicas_of(key, self.replication_factor):
+            if self.node_is_up(replica):
+                return replica
+        raise UnavailableError(
+            f"all {self.replication_factor} replicas of {key!r} are down"
+        )
+
+    def queue_hint(self, replica: int, key: str,
+                   fields: Mapping[str, str]) -> None:
+        """Store a hinted mutation for a down replica."""
+        self.hints.setdefault(replica, []).append((key, dict(fields)))
+        self.hints_queued += 1
+
+    def on_node_up(self, node: Node) -> None:
+        """Replay hinted handoffs into a freshly restarted replica."""
+        for index, server in enumerate(self.cluster.servers):
+            if server is node:
+                break
+        else:
+            return
+        pending = self.hints.pop(index, [])
+        if not pending:
+            return
+        flush_bytes = 0
+        for key, fields in pending:
+            bill = self.engines[index].put(key, fields)
+            flush_bytes += (bill.wal_sync_bytes + bill.flush_write_bytes
+                            + bill.compaction_io_bytes)
+            self.hints_replayed += 1
+        if flush_bytes:
+            self.sim.process(
+                self._background_io(node, int(flush_bytes
+                                              * self.compression_ratio)),
+                name="hint-replay",
+            )
 
     def warm_caches(self) -> None:
         for i, engine in enumerate(self.engines):
@@ -213,8 +280,19 @@ class CassandraSession(StoreSession):
         self._rr = index  # stagger coordinators across sessions
 
     def _next_coordinator(self) -> int:
-        self._rr += 1
-        return self._rr % self.store.cluster.n_servers
+        """The next live coordinator in this session's rotation.
+
+        The driver's connection pool knows which hosts refuse
+        connections, so crashed nodes are skipped; with every server
+        down there is nobody to coordinate.
+        """
+        n = self.store.cluster.n_servers
+        for __ in range(n):
+            self._rr += 1
+            candidate = self._rr % n
+            if self.store.node_is_up(candidate):
+                return candidate
+        raise UnavailableError("no live coordinator in the ring")
 
     def _route(self, owner: int, handler, request_bytes: int,
                response_bytes: int):
@@ -245,7 +323,8 @@ class CassandraSession(StoreSession):
 
     def read(self, key: str):
         store = self.store
-        owner = store.ring.owner_of(key)
+        # Consistency ONE with failover: any live replica serves the read.
+        owner = store.live_replica_of(key)
         result = yield from self._route(
             owner, store._apply_read(owner, key),
             store.request_bytes(key), store.response_bytes(1),
@@ -256,6 +335,10 @@ class CassandraSession(StoreSession):
         store = self.store
         if store.replication_factor == 1:
             owner = store.ring.owner_of(key)
+            if not store.node_is_up(owner):
+                raise UnavailableError(
+                    f"single replica of {key!r} is down (RF=1)"
+                )
             result = yield from self._route(
                 owner, store._apply_write(owner, key, fields),
                 store.request_bytes(key, fields, with_payload=True),
@@ -266,9 +349,14 @@ class CassandraSession(StoreSession):
         return result
 
     def _replicated_insert(self, key: str, fields: Mapping[str, str]):
-        """RF > 1: the coordinator fans the mutation out to every
+        """RF > 1: the coordinator fans the mutation out to every live
         replica and acknowledges once the consistency level is met —
-        the replication extension of the paper's future work."""
+        the replication extension of the paper's future work.  Down
+        replicas get hinted handoffs (replayed on restart); when the
+        live replica set cannot meet the consistency level the write is
+        unavailable.  A replica crashing mid-write is absorbed by the
+        quorum wait as long as enough acknowledgements remain possible.
+        """
         store = self.store
         sim = store.sim
         replicas = store.ring.replicas_of(key, store.replication_factor)
@@ -280,8 +368,18 @@ class CassandraSession(StoreSession):
 
         def coordinate():
             yield from coordinator_node.cpu(store.COORDINATOR_CPU)
-            acks = []
+            live = [r for r in replicas if store.node_is_up(r)]
+            needed = store.required_acks()
+            if len(live) < needed:
+                raise UnavailableError(
+                    f"{len(live)}/{len(replicas)} replicas live, "
+                    f"consistency {store.consistency_level!r} needs {needed}"
+                )
             for replica in replicas:
+                if replica not in live:
+                    store.queue_hint(replica, key, fields)
+            acks = []
+            for replica in live:
                 if replica == coordinator:
                     acks.append(sim.process(
                         store._apply_write(replica, key, fields)))
@@ -291,7 +389,7 @@ class CassandraSession(StoreSession):
                         request, response,
                         store._apply_write(replica, key, fields),
                     )))
-            yield sim.k_of(acks, store.required_acks())
+            yield sim.k_of(acks, needed)
             return True
 
         result = yield from store.cluster.network.rpc(
@@ -303,8 +401,9 @@ class CassandraSession(StoreSession):
     def scan(self, start_key: str, count: int):
         store = self.store
         # RandomPartitioner get_range_slices: the scan starts at the token
-        # owner of the start key and walks that node's range.
-        owner = store.ring.owner_of(start_key)
+        # owner of the start key (or its first live replica) and walks
+        # that node's range.
+        owner = store.live_replica_of(start_key)
         rows = yield from self._route(
             owner, store._apply_scan(owner, start_key, count),
             store.request_bytes(start_key), store.response_bytes(count),
@@ -313,7 +412,7 @@ class CassandraSession(StoreSession):
 
     def delete(self, key: str):
         store = self.store
-        owner = store.ring.owner_of(key)
+        owner = store.live_replica_of(key)
 
         def handler():
             node = store.cluster.servers[owner]

@@ -30,7 +30,12 @@ from repro.sim.cluster import Cluster, Node
 from repro.sim.resources import Resource
 from repro.storage.lsm import LSMConfig, LSMEngine
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
-from repro.stores.base import ServiceProfile, Store, StoreSession
+from repro.stores.base import (
+    RetryPolicy,
+    ServiceProfile,
+    Store,
+    StoreSession,
+)
 from repro.keyspace import lex_position
 from repro.stores.hdfs import Hdfs
 
@@ -73,10 +78,15 @@ class HBaseStore(Store):
     def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
                  profile: ServiceProfile | None = None,
                  lsm_config: LSMConfig | None = None,
-                 client_buffering: bool = True):
+                 client_buffering: bool = True,
+                 dfs_replication: int = 1):
         super().__init__(cluster, schema, profile)
         self.client_buffering = client_buffering
-        self.hdfs = Hdfs(cluster.sim, cluster.network, cluster.servers)
+        # ``dfs.replication`` — the paper measured with 1; raising it lets
+        # reassigned regions serve reads whose HFile blocks would otherwise
+        # have died with the crashed DataNode.
+        self.hdfs = Hdfs(cluster.sim, cluster.network, cluster.servers,
+                         replication=dfs_replication)
         # The paper ran HMaster/NameNode on a dedicated node; master work
         # is off the data path, so it only appears here as topology.
         self.master_node = Node(cluster.sim, cluster.spec.node,
@@ -92,11 +102,16 @@ class HBaseStore(Store):
         ]
         self.n_regions = self.REGIONS_PER_SERVER * cluster.n_servers
         self._hfile_paths: dict[int, str] = {}
+        #: Current region -> region-server assignment (the META table);
+        #: the master rewrites it when a region server dies.
+        self._assignment: dict[int, int] = {}
+        self.regions_reassigned = 0
         for region_id in range(self.n_regions):
             server = self.region_servers[region_id % cluster.n_servers]
             engine = LSMEngine(config, seed=region_id,
                                name=f"hbase-region-{region_id}")
             server.add_region(region_id, engine)
+            self._assignment[region_id] = server.index
             path = f"/hbase/data/region-{region_id}"
             self._hfile_paths[region_id] = path
             self.hdfs.create(path)
@@ -125,7 +140,61 @@ class HBaseStore(Store):
 
     def server_of_region(self, region_id: int) -> RegionServer:
         """The region server currently hosting ``region_id``."""
-        return self.region_servers[region_id % self.cluster.n_servers]
+        return self.region_servers[self._assignment[region_id]]
+
+    #: Sim-seconds before the master declares a region server dead and
+    #: reassigns its regions (ZooKeeper session timeout, compressed to
+    #: the simulation's scaled-down time base).
+    REGION_REASSIGN_DELAY_S = 0.75
+
+    @classmethod
+    def retry_policy(cls) -> RetryPolicy:
+        """The HBase client rides out reassignment with patient retries."""
+        return RetryPolicy(max_attempts=5, backoff_s=0.1)
+
+    def on_node_down(self, node: Node) -> None:
+        """Master failure handling: reassign the dead server's regions.
+
+        The master notices the lost ZooKeeper session after
+        :attr:`REGION_REASSIGN_DELAY_S` and moves every region hosted by
+        the dead server onto the survivors; region data lives in HDFS,
+        so the new hosts replay the WAL/HFiles rather than losing state.
+        Until reassignment completes, operations on those regions fail
+        (and the client's retry policy is what bridges the gap).
+        """
+        for server in self.region_servers:
+            if server.node is node:
+                self.sim.process(self._master_reassign(server),
+                                 name="hbase-master-reassign")
+                return
+
+    def _master_reassign(self, dead: RegionServer):
+        yield self.sim.timeout(self.REGION_REASSIGN_DELAY_S)
+        if dead.node.up:  # the server came back before the timeout
+            return
+        survivors = [s for s in self.region_servers if s.node.up]
+        if not survivors:
+            return
+        moved = sorted(rid for rid, idx in self._assignment.items()
+                       if idx == dead.index)
+        for offset, region_id in enumerate(moved):
+            target = survivors[offset % len(survivors)]
+            engine = dead.regions.pop(region_id)
+            target.add_region(region_id, engine)
+            self._assignment[region_id] = target.index
+            self.regions_reassigned += 1
+            # WAL split + HFile open on the new host: a sequential
+            # re-read of the region's recent on-disk state.
+            yield from target.node.disk.read(
+                max(4096, engine.disk_bytes // 4), sequential=True)
+
+    def on_node_up(self, node: Node) -> None:
+        """A restarted region server rejoins empty-handed.
+
+        Real HBase leaves moved regions where they are until the
+        balancer runs; the restarted server simply becomes available
+        for future assignments, so there is nothing to do here.
+        """
 
     def engine_of(self, region_id: int) -> LSMEngine:
         """The LSM store behind ``region_id``."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.cluster import Node
+from repro.sim.faults import NodeDownError
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 
@@ -31,11 +32,22 @@ DEFAULT_BLOCK_SIZE = 64 * 2**20
 
 @dataclass
 class HdfsBlock:
-    """One block: location plus fill level."""
+    """One block: locations plus fill level.
+
+    ``datanode`` is the primary (pipeline head, usually the writer's
+    local DataNode); ``replicas`` lists any additional locations when
+    ``dfs.replication`` > 1.
+    """
 
     block_id: int
     datanode: int
     size: int = 0
+    replicas: tuple[int, ...] = ()
+
+    @property
+    def locations(self) -> tuple[int, ...]:
+        """Every DataNode holding a copy, primary first."""
+        return (self.datanode,) + self.replicas
 
 
 @dataclass
@@ -69,10 +81,22 @@ class NameNode:
         """Remove a file's metadata; returns whether it existed."""
         return self.files.pop(path, None) is not None
 
-    def allocate_block(self, path: str, preferred_datanode: int) -> HdfsBlock:
-        """Add a block to ``path`` on the preferred (local) DataNode."""
+    def allocate_block(self, path: str, preferred_datanode: int,
+                       replication: int = 1,
+                       n_datanodes: int = 1) -> HdfsBlock:
+        """Add a block to ``path`` on the preferred (local) DataNode.
+
+        With ``replication`` > 1 the following DataNodes (mod the fleet
+        size) hold the extra pipeline copies, HDFS's rack-oblivious
+        default placement on a single-switch cluster.
+        """
         self._next_block_id += 1
-        block = HdfsBlock(self._next_block_id, preferred_datanode)
+        extra = tuple(
+            (preferred_datanode + i) % n_datanodes
+            for i in range(1, min(replication, n_datanodes))
+        )
+        block = HdfsBlock(self._next_block_id, preferred_datanode,
+                          replicas=extra)
         self.files[path].blocks.append(block)
         return block
 
@@ -98,11 +122,17 @@ class Hdfs:
     CHECKSUM_CPU_PER_CHUNK = 2e-6
 
     def __init__(self, sim: Simulator, network: Network,
-                 datanodes: list[Node], block_size: int = DEFAULT_BLOCK_SIZE):
+                 datanodes: list[Node], block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = 1):
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
         self.sim = sim
         self.network = network
         self.datanodes = datanodes
         self.namenode = NameNode(block_size)
+        #: ``dfs.replication`` — the paper ran 1 ("replication was not
+        #: used"); raising it buys block-read failover under node loss.
+        self.replication = replication
 
     def create(self, path: str) -> HdfsFile:
         """Create (or truncate) ``path``."""
@@ -129,13 +159,27 @@ class Hdfs:
         file = self.namenode.files[path]
         if not file.blocks or (
             file.blocks[-1].size + nbytes > self.namenode.block_size
-        ):
-            self.namenode.allocate_block(path, local)
+        ) or not self.datanodes[file.blocks[-1].datanode].up:
+            # A new block also starts when the current block's primary
+            # DataNode died: the pipeline re-forms on live nodes.
+            self.namenode.allocate_block(path, local, self.replication,
+                                         len(self.datanodes))
         block = file.blocks[-1]
         block.size += nbytes
         datanode = self.datanodes[block.datanode]
         yield from datanode.cpu(self.DATANODE_REQUEST_CPU)
         yield from datanode.disk.write(nbytes, sequential=True, sync=sync)
+        for replica in block.replicas:
+            peer = self.datanodes[replica]
+            if peer.up:
+                # Downstream pipeline stages drain asynchronously.
+                self.sim.process(self._replicate(datanode, peer, nbytes),
+                                 name="hdfs-pipeline")
+
+    def _replicate(self, src: Node, dst: Node, nbytes: int):
+        """Process: ship one pipeline copy to a downstream DataNode."""
+        yield from self.network.transfer(src.name, dst.name, nbytes)
+        yield from dst.disk.write(nbytes, sequential=True, sync=False)
 
     def read(self, path: str, block_hint: tuple, nbytes: int, reader: Node):
         """Process: read ``nbytes`` of ``path`` near ``block_hint``.
@@ -148,7 +192,19 @@ class Hdfs:
         if file is None:
             raise FileNotFoundError(path)
         if file.blocks:
-            datanode = self.datanodes[file.blocks[-1].datanode]
+            # Serve from the first live replica of the (hinted) block;
+            # with every copy down the read cannot be satisfied — at
+            # dfs.replication=1 a single DataNode crash does exactly that.
+            block = file.blocks[-1]
+            datanode = None
+            for location in block.locations:
+                if self.datanodes[location].up:
+                    datanode = self.datanodes[location]
+                    break
+            if datanode is None:
+                raise NodeDownError(
+                    f"no live replica of block {block.block_id} ({path})"
+                )
         else:
             datanode = reader
         chunks = max(1, nbytes // 4096)
@@ -179,5 +235,6 @@ class Hdfs:
         usage = [0 for __ in self.datanodes]
         for file in self.namenode.files.values():
             for block in file.blocks:
-                usage[block.datanode] += block.size
+                for location in block.locations:
+                    usage[location] += block.size
         return usage

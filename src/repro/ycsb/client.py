@@ -11,8 +11,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.sim.faults import FaultError
 from repro.storage.record import RecordSchema
-from repro.stores.base import OpError, OpType, StoreSession
+from repro.stores.base import OpError, OpType, RetryPolicy, StoreSession
 from repro.ycsb.generator import KeySequence, generate_record
 from repro.ycsb.stats import RunStats
 from repro.ycsb.throttle import Throttle
@@ -55,7 +56,8 @@ class ClientThread:
     def __init__(self, session: StoreSession, workload: Workload,
                  chooser, sequence: KeySequence, stats: RunStats,
                  control: RunControl, rng: random.Random,
-                 schema: RecordSchema, throttle: Throttle | None = None):
+                 schema: RecordSchema, throttle: Throttle | None = None,
+                 retry: RetryPolicy | None = None):
         self.session = session
         self.workload = workload
         self.chooser = chooser
@@ -65,6 +67,7 @@ class ClientThread:
         self.rng = rng
         self.schema = schema
         self.throttle = throttle
+        self.retry = retry if retry is not None else session.store.retry_policy()
         self._op_table = workload.op_table()
 
     def _draw_op(self) -> OpType:
@@ -83,46 +86,54 @@ class ClientThread:
                 if self.control.done:
                     break
             op = self._draw_op()
+            # Draw the operation's arguments once, before any attempt:
+            # a retry re-issues the *same* operation, it does not burn a
+            # fresh key from the generator streams.
+            fields = None
+            scan_length = 0
+            if op is OpType.INSERT:
+                record = generate_record(self.sequence.take(), self.schema)
+                key, fields = record.key, record.fields
+            elif op is OpType.UPDATE:
+                record = generate_record(
+                    self.chooser.next_record_number(), self.schema)
+                key, fields = record.key, record.fields
+            else:  # READ / SCAN / DELETE
+                key = generate_record(
+                    self.chooser.next_record_number(), self.schema
+                ).key
+                if op is OpType.SCAN:
+                    scan_length = self.workload.scan_length
             # Workload-loop and driver dispatch work happens before YCSB
             # starts the operation timer.
             yield from self.session.store.dispatch_cpu(self.session.client)
             started = sim.now
             error = False
-            try:
-                if op is OpType.READ:
-                    key = generate_record(
-                        self.chooser.next_record_number(), self.schema
-                    ).key
-                    yield from self.session.execute(op, key)
-                elif op is OpType.SCAN:
-                    key = generate_record(
-                        self.chooser.next_record_number(), self.schema
-                    ).key
-                    yield from self.session.execute(
-                        op, key, scan_length=self.workload.scan_length
-                    )
-                elif op is OpType.INSERT:
-                    record = generate_record(self.sequence.take(),
-                                             self.schema)
+            attempt = 1
+            while True:
+                try:
                     result = yield from self.session.execute(
-                        op, record.key, fields=record.fields
+                        op, key, fields=fields, scan_length=scan_length
                     )
                     error = result is False
-                elif op is OpType.UPDATE:
-                    number = self.chooser.next_record_number()
-                    record = generate_record(number, self.schema)
-                    result = yield from self.session.execute(
-                        op, record.key, fields=record.fields
-                    )
-                    error = result is False
-                else:  # DELETE
-                    key = generate_record(
-                        self.chooser.next_record_number(), self.schema
-                    ).key
-                    yield from self.session.execute(op, key)
-            except OpError:
-                error = True
+                    break
+                except OpError:
+                    # Semantic failure (e.g. Redis OOM): retrying cannot
+                    # help, YCSB records it and moves on.
+                    error = True
+                    break
+                except FaultError:
+                    # Infrastructure fault: the driver reconnects with
+                    # backoff, inside the timed call.
+                    if attempt >= self.retry.max_attempts:
+                        error = True
+                        break
+                    backoff = self.retry.backoff_for(attempt)
+                    attempt += 1
+                    if backoff > 0:
+                        yield sim.timeout(backoff)
             latency = sim.now - started
+            self.stats.note_op(sim.now, error)
             if self.control.measuring and not self.control.done:
                 self.stats.record(op, latency, error)
             self.control.note_completion(self.stats, sim.now)

@@ -21,9 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.faults.availability import AvailabilityTimeline
+from repro.faults.chaos import ChaosController
+from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import CLUSTER_M, Cluster, ClusterSpec
 from repro.storage.record import APM_SCHEMA, RecordSchema
-from repro.stores.base import OpType, Store
+from repro.stores.base import OpType, RetryPolicy, Store
 from repro.stores.registry import store_class
 from repro.ycsb.client import ClientThread, RunControl
 from repro.ycsb.generator import KeySequence, generate_records, make_chooser
@@ -70,12 +73,26 @@ class BenchmarkConfig:
     #: Bound the offered load (ops/s); ``None`` = maximum throughput.
     target_throughput: Optional[float] = None
     store_kwargs: dict = field(default_factory=dict)
+    #: Chaos plan applied during the run (``None`` = fault-free).
+    fault_schedule: Optional[FaultSchedule] = None
+    #: Run for a fixed simulated time instead of a fixed operation count
+    #: — the natural framing for chaos experiments, where the schedule is
+    #: anchored to absolute times.
+    duration_s: Optional[float] = None
+    #: Bucket width of the availability timeline.
+    availability_window_s: float = 0.25
+    #: Override the store's default client retry policy.
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self):
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         if self.records_per_node < 1:
             raise ValueError("records_per_node must be >= 1")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.availability_window_s <= 0:
+            raise ValueError("availability_window_s must be positive")
 
 
 @dataclass
@@ -87,6 +104,13 @@ class BenchmarkResult:
     connections: int
     store_errors: int
     disk_bytes_per_server: list[int]
+    #: ``(time, description)`` log of every fault the controller applied.
+    fault_log: list = field(default_factory=list)
+
+    @property
+    def timeline(self) -> Optional[AvailabilityTimeline]:
+        """Windowed throughput/error series (chaos and timed runs only)."""
+        return self.stats.timeline
 
     @property
     def throughput_ops(self) -> float:
@@ -127,6 +151,7 @@ class BenchmarkResult:
             "write_ms": round(self.write_latency.mean * 1000, 3),
             "scan_ms": round(self.scan_latency.mean * 1000, 3),
             "errors": self.stats.errors + self.store_errors,
+            "error_pct": round(100.0 * self.stats.error_rate, 2),
         }
 
 
@@ -169,16 +194,28 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
 
     sequence = KeySequence(total_records)
     stats = RunStats()
+    if config.fault_schedule is not None or config.duration_s is not None:
+        stats.timeline = AvailabilityTimeline(config.availability_window_s)
     n_connections = deployed.connections(spec.connections_per_node)
-    # The measurement window must span many "rounds" of the closed loop
-    # (and, for buffering clients, several buffer cycles), or boundary
-    # effects dominate the throughput estimate.
-    min_warmup, min_measured = deployed.min_window(n_connections)
-    warmup_ops = max(config.warmup_ops, min_warmup)
-    measured_ops = max(config.measured_ops, min_measured)
+    if config.duration_s is not None:
+        # Time-bounded run: the clock, not an op count, ends measurement.
+        warmup_ops = config.warmup_ops
+        measured_ops = 1 << 62
+    else:
+        # The measurement window must span many "rounds" of the closed
+        # loop (and, for buffering clients, several buffer cycles), or
+        # boundary effects dominate the throughput estimate.
+        min_warmup, min_measured = deployed.min_window(n_connections)
+        warmup_ops = max(config.warmup_ops, min_warmup)
+        measured_ops = max(config.measured_ops, min_measured)
     control = RunControl(warmup_ops, measured_ops)
     throttle = (Throttle(cluster.sim, config.target_throughput)
                 if config.target_throughput else None)
+    chaos = None
+    if config.fault_schedule is not None and len(config.fault_schedule):
+        chaos = ChaosController(cluster, config.fault_schedule)
+        chaos.subscribe(deployed)
+        chaos.start()
     from repro.sim.rng import RngRegistry
     rngs = RngRegistry(config.seed)
     threads = []
@@ -190,14 +227,21 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
                                sequence, rng)
         threads.append(ClientThread(
             session, workload, chooser, sequence, stats, control, rng,
-            schema, throttle,
+            schema, throttle, retry=config.retry,
         ))
     processes = [cluster.sim.process(t.run(), name=f"client-{i}")
                  for i, t in enumerate(threads)]
-    cluster.sim.run(until=cluster.sim.all_of(processes))
-
-    if stats.finished_at == 0.0:
+    if config.duration_s is not None:
+        cluster.sim.run(until=config.duration_s)
+        control.done = True
         stats.finished_at = cluster.sim.now
+        # Let every thread finish its in-flight operation (not measured:
+        # ``done`` is already set) so no process is left mid-IO.
+        cluster.sim.run(until=cluster.sim.all_of(processes))
+    else:
+        cluster.sim.run(until=cluster.sim.all_of(processes))
+        if stats.finished_at == 0.0:
+            stats.finished_at = cluster.sim.now
 
     return BenchmarkResult(
         config=config,
@@ -205,4 +249,5 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         connections=n_connections,
         store_errors=deployed.errors,
         disk_bytes_per_server=deployed.disk_bytes_per_server(),
+        fault_log=list(chaos.log) if chaos is not None else [],
     )

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Optional
 
+from repro.faults.availability import AvailabilityTimeline
 from repro.stores.base import OpType
 
 __all__ = ["LatencyHistogram", "RunStats"]
@@ -28,9 +29,14 @@ class LatencyHistogram:
         self._counts = [0] * self.N_BUCKETS
         self.count = 0
         self.total = 0.0
-        self.min = math.inf
+        self._min = math.inf
         self.max = 0.0
         self.errors = 0
+
+    @property
+    def min(self) -> float:
+        """Smallest recorded latency (0 when empty, like ``max``)."""
+        return self._min if self.count else 0.0
 
     def _bucket(self, latency_s: float) -> int:
         if latency_s <= self.MIN_LATENCY:
@@ -45,7 +51,7 @@ class LatencyHistogram:
             raise ValueError("latency cannot be negative")
         self.count += 1
         self.total += latency_s
-        self.min = min(self.min, latency_s)
+        self._min = min(self._min, latency_s)
         self.max = max(self.max, latency_s)
         self._counts[self._bucket(latency_s)] += 1
         if error:
@@ -79,7 +85,7 @@ class LatencyHistogram:
             self._counts[i] += c
         self.count += other.count
         self.total += other.total
-        self.min = min(self.min, other.min)
+        self._min = min(self._min, other._min)
         self.max = max(self.max, other.max)
         self.errors += other.errors
 
@@ -93,6 +99,9 @@ class RunStats:
     errors: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Windowed throughput/error series spanning the *whole* run (warm-up
+    #: included) — attached by the runner for chaos experiments.
+    timeline: Optional[AvailabilityTimeline] = None
 
     def histogram(self, op: OpType) -> LatencyHistogram:
         """The histogram for ``op``, created on first use."""
@@ -107,6 +116,22 @@ class RunStats:
         self.operations += 1
         if error:
             self.errors += 1
+
+    def note_op(self, now: float, error: bool) -> None:
+        """Feed the availability timeline (every completed op, always).
+
+        Unlike :meth:`record`, this ignores the measurement window: the
+        timeline exists to show behaviour *over time* — degradation during
+        an outage, recovery after restart — so trimming warm-up would hide
+        exactly the transitions it is for.
+        """
+        if self.timeline is not None:
+            self.timeline.record(now, error)
+
+    @property
+    def error_rate(self) -> float:
+        """Errors as a fraction of measured operations."""
+        return self.errors / self.operations if self.operations else 0.0
 
     @property
     def duration(self) -> float:
@@ -129,10 +154,15 @@ class RunStats:
             "throughput_ops": self.throughput,
             "operations": float(self.operations),
             "errors": float(self.errors),
+            "error_rate": self.error_rate,
             "duration_s": self.duration,
         }
         for op, histogram in self.histograms.items():
             out[f"{op.value}_mean_s"] = histogram.mean
             out[f"{op.value}_p95_s"] = histogram.percentile(95)
             out[f"{op.value}_p99_s"] = histogram.percentile(99)
+            out[f"{op.value}_errors"] = float(histogram.errors)
+            out[f"{op.value}_error_rate"] = (
+                histogram.errors / histogram.count if histogram.count else 0.0
+            )
         return out

@@ -1,0 +1,95 @@
+"""Tests for the fault-schedule DSL."""
+
+import pytest
+
+from repro.faults.schedule import FaultKind, FaultSchedule
+
+
+def test_crash_with_restart_produces_two_actions():
+    schedule = FaultSchedule().crash("server-1", at=2.0, restart_after=3.0)
+    actions = schedule.actions()
+    assert [a.kind for a in actions] == [FaultKind.CRASH, FaultKind.RESTART]
+    assert actions[0].at == 2.0
+    assert actions[1].at == 5.0
+    assert all(a.target == "server-1" for a in actions)
+
+
+def test_actions_sorted_by_time_then_insertion_order():
+    schedule = (FaultSchedule()
+                .crash("b", at=4.0)
+                .crash("a", at=1.0)
+                .slow_disk("c", at=1.0, factor=2.0))
+    actions = schedule.actions()
+    assert [a.at for a in actions] == [1.0, 1.0, 4.0]
+    # Equal times keep insertion order: the crash of "a" before the
+    # slow-disk on "c".
+    assert actions[0].target == "a"
+    assert actions[1].target == "c"
+
+
+def test_partition_requires_two_groups_and_heals():
+    schedule = FaultSchedule().partition(
+        [["a", "b"], ["c"]], at=1.0, heal_after=2.0)
+    actions = schedule.actions()
+    assert [a.kind for a in actions] == [FaultKind.PARTITION, FaultKind.HEAL]
+    assert actions[0].groups == (("a", "b"), ("c",))
+    assert actions[1].at == 3.0
+    with pytest.raises(ValueError):
+        FaultSchedule().partition([["a", "b"]], at=1.0)
+
+
+def test_validation_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        FaultSchedule().crash("n", at=-1.0)
+    with pytest.raises(ValueError):
+        FaultSchedule().crash("n", at=1.0, restart_after=0.0)
+    with pytest.raises(ValueError):
+        FaultSchedule().slow_disk("n", at=1.0, factor=0.5)
+    with pytest.raises(ValueError):
+        FaultSchedule().slow_disk("n", at=1.0, factor=2.0, duration=-1.0)
+
+
+def test_outage_windows_pair_crashes_with_restarts():
+    schedule = (FaultSchedule()
+                .crash("x", at=1.0, restart_after=2.0)
+                .crash("x", at=10.0)          # never restarted
+                .crash("y", at=5.0, restart_after=1.0))
+    assert schedule.outage_windows("x") == [(1.0, 3.0), (10.0, float("inf"))]
+    assert schedule.outage_windows("y") == [(5.0, 6.0)]
+    assert schedule.outage_windows("z") == []
+
+
+def test_describe_is_human_readable():
+    schedule = (FaultSchedule()
+                .crash("server-0", at=1.0)
+                .partition([["a"], ["b"]], at=2.0)
+                .slow_disk("server-1", at=3.0, factor=8.0))
+    described = [a.describe() for a in schedule.actions()]
+    assert described[0] == "crash server-0"
+    assert described[1] == "partition [a | b]"
+    assert described[2] == "slow disk server-1 x8"
+
+
+def test_random_schedule_is_reproducible():
+    nodes = ["server-0", "server-1", "server-2"]
+    a = FaultSchedule.random(99, nodes, horizon_s=10.0, n_crashes=2)
+    b = FaultSchedule.random(99, nodes, horizon_s=10.0, n_crashes=2)
+    assert a.actions() == b.actions()
+    c = FaultSchedule.random(100, nodes, horizon_s=10.0, n_crashes=2)
+    assert a.actions() != c.actions()
+
+
+def test_random_schedule_respects_horizon_and_targets():
+    nodes = ["n0", "n1"]
+    schedule = FaultSchedule.random(7, nodes, horizon_s=20.0, n_crashes=3)
+    for action in schedule.actions():
+        if action.kind is FaultKind.CRASH:
+            assert 0.15 * 20.0 <= action.at <= 0.85 * 20.0
+            assert action.target in nodes
+
+
+def test_random_schedule_without_restarts():
+    schedule = FaultSchedule.random(
+        5, ["n0"], horizon_s=10.0, n_crashes=1, restart_probability=0.0)
+    kinds = [a.kind for a in schedule.actions()]
+    assert kinds == [FaultKind.CRASH]

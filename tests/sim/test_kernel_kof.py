@@ -1,9 +1,10 @@
-"""Property tests for the quorum-wait (KOf) combinator."""
+"""Property and edge-case tests for the quorum-wait (KOf) combinator."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SimulationError, Simulator
 
 
 @settings(max_examples=50, deadline=None)
@@ -40,3 +41,114 @@ def test_property_kof_is_monotone_in_k(delays):
         sim.run(until=sim.k_of(events, k))
         times.append(sim.now)
     assert times == sorted(times)
+
+
+# -- edge cases: the semantics replicated writes rely on ----------------------
+
+
+def _sleeper(sim, delay):
+    def proc():
+        yield sim.timeout(delay)
+    return sim.process(proc())
+
+
+def _failer(sim, delay, exc_type=RuntimeError):
+    def proc():
+        yield sim.timeout(delay)
+        raise exc_type("replica failed")
+    return sim.process(proc())
+
+
+def test_kof_k_zero_succeeds_immediately():
+    """k=0 is an empty quorum: satisfied at once, children unawaited."""
+    sim = Simulator()
+    events = [_sleeper(sim, 5.0), _sleeper(sim, 7.0)]
+    quorum = sim.k_of(events, 0)
+    sim.run(until=quorum)
+    assert sim.now == 0.0
+    assert quorum.ok
+
+
+def test_kof_k_zero_with_no_children():
+    sim = Simulator()
+    quorum = sim.k_of([], 0)
+    sim.run(until=quorum)
+    assert quorum.ok
+
+
+def test_kof_k_greater_than_children_is_an_error():
+    """An unachievable quorum is a programming error, caught eagerly."""
+    sim = Simulator()
+    events = [_sleeper(sim, 1.0)]
+    with pytest.raises(SimulationError):
+        sim.k_of(events, 2)
+    sim2 = Simulator()
+    with pytest.raises(SimulationError):
+        sim2.k_of([], 1)
+
+
+def test_kof_negative_k_is_an_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.k_of([_sleeper(sim, 1.0)], -1)
+
+
+def test_kof_tolerates_failures_while_quorum_achievable():
+    """n - k child failures are absorbed; the k-th success still fires.
+
+    This is what lets a quorum write survive a crashed replica: with
+    n=3, k=2, one replica failing *before* the acknowledgements arrive
+    must not fail the write.
+    """
+    sim = Simulator()
+    events = [
+        _failer(sim, 0.1),   # fails first
+        _sleeper(sim, 1.0),
+        _sleeper(sim, 2.0),
+    ]
+    quorum = sim.k_of(events, 2)
+    sim.run(until=quorum)
+    assert quorum.ok
+    assert sim.now == 2.0  # needed both survivors
+
+
+def test_kof_fails_once_quorum_impossible():
+    """The (n-k+1)-th failure fails the quorum with that exception."""
+    sim = Simulator()
+    events = [
+        _failer(sim, 0.1, ValueError),
+        _failer(sim, 0.2, KeyError),
+        _sleeper(sim, 5.0),
+    ]
+    quorum = sim.k_of(events, 2)
+    with pytest.raises(KeyError):
+        sim.run(until=quorum)
+    # Failed at the moment success became impossible, not at the end.
+    assert sim.now == 0.2
+
+
+def test_kof_all_failures_with_k_equal_n():
+    """k == n degrades to AllOf semantics: the first failure is fatal."""
+    sim = Simulator()
+    events = [_failer(sim, 0.3), _sleeper(sim, 1.0)]
+    quorum = sim.k_of(events, 2)
+    with pytest.raises(RuntimeError):
+        sim.run(until=quorum)
+    assert sim.now == 0.3
+
+
+def test_kof_late_failures_after_quorum_are_ignored():
+    """Straggler failures after the quorum fired do not re-trigger it."""
+    sim = Simulator()
+    events = [
+        _sleeper(sim, 0.1),
+        _sleeper(sim, 0.2),
+        _failer(sim, 3.0),
+    ]
+    quorum = sim.k_of(events, 2)
+    sim.run(until=quorum)
+    assert quorum.ok
+    assert sim.now == 0.2
+    # Drain the straggler: its failure must not corrupt the fired quorum.
+    sim.run(until=4.0)
+    assert quorum.ok

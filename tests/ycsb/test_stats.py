@@ -14,6 +14,18 @@ class TestLatencyHistogram:
         assert histogram.mean == 0.0
         assert histogram.percentile(50) == 0.0
         assert histogram.count == 0
+        # An empty histogram reports 0.0, not math.inf, like max does.
+        assert histogram.min == 0.0
+
+    def test_merging_an_empty_histogram_keeps_min(self):
+        a = LatencyHistogram()
+        a.record(0.005)
+        a.merge(LatencyHistogram())
+        assert a.min == 0.005
+        # And merging *into* an empty one adopts the other's min.
+        b = LatencyHistogram()
+        b.merge(a)
+        assert b.min == 0.005
 
     def test_mean_min_max(self):
         histogram = LatencyHistogram()
@@ -98,6 +110,12 @@ class TestRunStats:
         stats = RunStats()
         stats.record(OpType.INSERT, 0.001, error=True)
         assert stats.errors == 1
+        assert stats.error_rate == 1.0
+        stats.record(OpType.INSERT, 0.001)
+        assert stats.error_rate == 0.5
+
+    def test_error_rate_empty(self):
+        assert RunStats().error_rate == 0.0
 
     def test_summary_keys(self):
         stats = RunStats()
@@ -107,6 +125,33 @@ class TestRunStats:
         assert "throughput_ops" in summary
         assert "read_mean_s" in summary
         assert "read_p99_s" in summary
+
+    def test_summary_surfaces_per_op_error_rates(self):
+        stats = RunStats()
+        stats.started_at, stats.finished_at = 0.0, 1.0
+        stats.record(OpType.READ, 0.001)
+        stats.record(OpType.READ, 0.001, error=True)
+        stats.record(OpType.INSERT, 0.002)
+        summary = stats.summary()
+        assert summary["error_rate"] == pytest.approx(1 / 3)
+        assert summary["read_errors"] == 1.0
+        assert summary["read_error_rate"] == pytest.approx(0.5)
+        assert summary["insert_errors"] == 0.0
+        assert summary["insert_error_rate"] == 0.0
+
+    def test_note_op_feeds_timeline_outside_measurement_window(self):
+        from repro.faults.availability import AvailabilityTimeline
+
+        stats = RunStats()
+        stats.note_op(0.1, error=False)  # no timeline: silently ignored
+        stats.timeline = AvailabilityTimeline(window_s=1.0)
+        stats.note_op(0.5, error=False)
+        stats.note_op(1.5, error=True)
+        windows = stats.timeline.windows()
+        assert [w.ops for w in windows] == [1, 1]
+        assert [w.errors for w in windows] == [0, 1]
+        # note_op never touches the measured-run counters.
+        assert stats.operations == 0
 
     def test_zero_duration_throughput(self):
         stats = RunStats()
