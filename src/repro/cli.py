@@ -42,10 +42,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = WORKLOADS[args.workload]
     spec = CLUSTER_D if args.cluster == "D" else CLUSTER_M
+    trace_kwargs = {}
+    if args.trace:
+        trace_kwargs["trace_sample_every"] = args.trace_sample
     result = run_benchmark(
         args.store, workload, args.nodes, cluster_spec=spec,
         records_per_node=args.records, measured_ops=args.ops,
-        seed=args.seed,
+        seed=args.seed, **trace_kwargs,
     )
     row = result.row()
     print(f"store={row['store']} workload={row['workload']} "
@@ -63,6 +66,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 rate = 100.0 * histogram.errors / histogram.count
                 print(f"  {op.value}: {histogram.errors} errors "
                       f"({rate:.2f}%)")
+    if args.trace:
+        from repro.analysis.trace_export import write_chrome_trace
+
+        print()
+        if result.breakdown is not None:
+            print(result.breakdown.render(
+                title=f"latency attribution: {row['store']}"))
+        else:
+            print("no operations were sampled (run too short for the "
+                  "sample rate)")
+        path = write_chrome_trace(result.traces, args.trace_out)
+        print(f"wrote {len(result.traces)} traces to {path} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -180,6 +196,17 @@ def main(argv: list[str] | None = None) -> int:
                             help="records per node (scaled data set)")
     run_parser.add_argument("--ops", type=int, default=6000)
     run_parser.add_argument("--seed", type=int, default=42)
+    run_parser.add_argument("--trace", action="store_true",
+                            help="sample span traces and report a "
+                                 "per-component latency breakdown")
+    run_parser.add_argument("--trace-sample", type=int, default=8,
+                            metavar="N",
+                            help="trace every Nth measured op "
+                                 "(default 8)")
+    run_parser.add_argument("--trace-out", default="trace.json",
+                            metavar="PATH",
+                            help="Chrome-trace JSON output path "
+                                 "(default trace.json)")
 
     chaos_parser = sub.add_parser(
         "chaos", help="run a fault-injection experiment")

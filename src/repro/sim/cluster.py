@@ -109,12 +109,17 @@ class Node:
     """A simulated machine: CPU cores, a disk, a page cache, and a NIC."""
 
     def __init__(self, sim: Simulator, spec: NodeSpec, name: str,
-                 network: Network):
+                 network: Network, role: str = "server"):
         self.sim = sim
         self.spec = spec
         self.name = name
         self.network = network
-        self.cpus = Resource(sim, spec.cores, f"cpu:{name}")
+        self.role = role
+        # Client-machine CPU burn is attributed separately from server CPU
+        # so the breakdown can show driver overhead vs store work.
+        self.cpus = Resource(
+            sim, spec.cores, f"cpu:{name}",
+            component="client" if role == "client" else "cpu")
         self.disk = Disk(sim, spec.disk, name)
         self.page_cache = PageCache(spec.cache_bytes)
         #: Liveness flag driven by the fault-injection layer.
@@ -191,7 +196,8 @@ class Cluster:
         if n_clients is None:
             n_clients = -(-n_servers // spec.servers_per_client)  # ceil div
         self.clients = [
-            Node(self.sim, spec.node, f"client-{i}", self.network)
+            Node(self.sim, spec.node, f"client-{i}", self.network,
+                 role="client")
             for i in range(max(1, n_clients))
         ]
 

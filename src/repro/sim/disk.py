@@ -49,7 +49,8 @@ class Disk:
         self.sim = sim
         self.spec = spec
         self.name = name
-        self.queue = Resource(sim, spec.queue_depth, f"diskq:{name}")
+        self.queue = Resource(sim, spec.queue_depth, f"diskq:{name}",
+                              component="disk")
         self.bytes_read = 0
         self.bytes_written = 0
         self.reads = 0
@@ -74,7 +75,18 @@ class Disk:
         self.bytes_read += nbytes
         duration = (self.spec.access_time(nbytes, sequential)
                     * self.degrade_factor)
-        yield self.sim.process(self.queue.use(duration))
+        sim = self.sim
+        if sim.tracer is not None and sim.context is not None:
+            span = sim.tracer.start_span(
+                "disk.read", "disk",
+                {"disk": self.name, "bytes": nbytes,
+                 "sequential": sequential})
+            try:
+                yield sim.process(self.queue.use(duration))
+            finally:
+                sim.tracer.end_span(span)
+        else:
+            yield sim.process(self.queue.use(duration))
 
     def write(self, nbytes: int, sequential: bool = True, sync: bool = True):
         """Process: write ``nbytes``.
@@ -90,13 +102,33 @@ class Disk:
         """
         self.writes += 1
         self.bytes_written += nbytes
+        sim = self.sim
+        traced = sim.tracer is not None and sim.context is not None
         if not sync:
-            yield self.sim.timeout(2e-6)
+            if traced:
+                span = sim.tracer.start_span(
+                    "disk.write", "disk",
+                    {"disk": self.name, "bytes": nbytes, "sync": False})
+                try:
+                    yield sim.timeout(2e-6)
+                finally:
+                    sim.tracer.end_span(span)
+            else:
+                yield sim.timeout(2e-6)
             return
         duration = ((self.spec.access_time(nbytes, sequential)
                      + self.spec.rotational_latency_s)
                     * self.degrade_factor)
-        yield self.sim.process(self.queue.use(duration))
+        if traced:
+            span = sim.tracer.start_span(
+                "disk.write", "disk",
+                {"disk": self.name, "bytes": nbytes, "sync": True})
+            try:
+                yield sim.process(self.queue.use(duration))
+            finally:
+                sim.tracer.end_span(span)
+        else:
+            yield sim.process(self.queue.use(duration))
 
 
 class PageCache:

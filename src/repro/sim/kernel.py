@@ -16,6 +16,11 @@ Design notes
 * Failures propagate: if a yielded event fails, the exception is thrown
   into the waiting generator; unhandled failures surface from
   :meth:`Simulator.run` as :class:`SimulationError`.
+* The simulator carries an opaque ``context`` slot (used by
+  ``repro.trace`` for span propagation).  Each :class:`Process` inherits
+  the context active at spawn time and swaps it in around every resume,
+  so logically-concurrent processes each see their own context exactly
+  like thread-locals under a real scheduler.
 """
 
 from __future__ import annotations
@@ -135,7 +140,7 @@ class Process(Event):
     event itself — succeeds with the generator's return value.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "context", "_waiting_on")
 
     def __init__(
         self,
@@ -150,6 +155,7 @@ class Process(Event):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        self.context: Any = sim.context
         self._waiting_on: Optional[Event] = None
         # Bootstrap: resume on the next kernel step at the current time.
         initial = Event(sim)
@@ -163,28 +169,37 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
+        sim = self.sim
+        prev_context = sim.context
+        sim.context = self.context
         try:
-            if event.ok:
-                target = self.generator.send(event._value)
-            else:
-                target = self.generator.throw(event._value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            exc = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}"
-            )
             try:
-                self.generator.throw(exc)
+                if event.ok:
+                    target = self.generator.send(event._value)
+                else:
+                    target = self.generator.throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
-            except BaseException as err:  # noqa: BLE001
-                self.fail(err)
-            return
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {target!r}"
+                )
+                try:
+                    self.generator.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                except BaseException as err:  # noqa: BLE001
+                    self.fail(err)
+                return
+        finally:
+            # Capture context mutations made by the generator (span pushes
+            # and pops) and restore whatever was active before the resume.
+            self.context = sim.context
+            sim.context = prev_context
         if target.processed:
             # The event already fired; resume immediately at the current time.
             bounce = Event(self.sim)
@@ -313,6 +328,10 @@ class Simulator:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
+        #: Opaque per-process context (the active trace span, when tracing).
+        self.context: Any = None
+        #: The attached ``repro.trace.Tracer``, or ``None`` when not tracing.
+        self.tracer: Any = None
 
     @property
     def now(self) -> float:

@@ -70,8 +70,10 @@ class Network:
 
     def attach(self, node_name: str) -> None:
         """Register a node's NIC queues with the switch."""
-        self._egress[node_name] = Resource(self.sim, 1, f"nic-out:{node_name}")
-        self._ingress[node_name] = Resource(self.sim, 1, f"nic-in:{node_name}")
+        self._egress[node_name] = Resource(
+            self.sim, 1, f"nic-out:{node_name}", component="network")
+        self._ingress[node_name] = Resource(
+            self.sim, 1, f"nic-in:{node_name}", component="network")
 
     def egress_queue(self, node_name: str) -> Resource:
         """The egress NIC resource for diagnostics."""
@@ -133,6 +135,20 @@ class Network:
         partitioned destination drops the message so the sender waits out
         its read timeout before failing.
         """
+        sim = self.sim
+        tracer = sim.tracer
+        if tracer is None or sim.context is None:
+            yield from self._transfer(src, dst, nbytes)
+            return
+        outer = tracer.start_span(
+            "net.transfer", "network",
+            {"src": src, "dst": dst, "bytes": nbytes})
+        try:
+            yield from self._transfer(src, dst, nbytes)
+        finally:
+            tracer.end_span(outer)
+
+    def _transfer(self, src: str, dst: str, nbytes: int):
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if src in self._down:

@@ -58,13 +58,15 @@ class Resource:
     """A FIFO multi-server resource."""
 
     def __init__(self, sim: Simulator, capacity: int = 1,
-                 name: str = "resource"):
+                 name: str = "resource", component: str = "resource"):
         if capacity < 1:
             raise SimulationError(
                 f"resource capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        #: Attribution bucket for traced holds (see ``repro.trace``).
+        self.component = component
         self.stats = ResourceStats()
         self._in_use = 0
         self._queue: deque[Request] = deque()
@@ -156,10 +158,36 @@ class Resource:
         Usage from another process::
 
             yield sim.process(resource.use(0.001))
+
+        Inside a sampled trace the hold emits a span (named after the
+        resource, bucketed under :attr:`component`) with a ``wait`` child
+        covering any time spent queued for the slot; untraced holds take
+        the span-free fast path.
         """
-        req = self.request()
-        yield req
+        sim = self.sim
+        tracer = sim.tracer
+        if tracer is None or sim.context is None:
+            req = self.request()
+            yield req
+            try:
+                yield sim.timeout(duration)
+            finally:
+                self.release(req)
+            return
+        outer = tracer.start_span(self.name, self.component)
         try:
-            yield self.sim.timeout(duration)
+            req = self.request()
+            if not req.triggered:
+                wait = tracer.start_span("wait", "queue")
+                try:
+                    yield req
+                finally:
+                    tracer.end_span(wait)
+            else:
+                yield req
+            try:
+                yield sim.timeout(duration)
+            finally:
+                self.release(req)
         finally:
-            self.release(req)
+            tracer.end_span(outer)

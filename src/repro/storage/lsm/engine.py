@@ -81,6 +81,9 @@ class LSMEngine:
         self.memtable = Memtable(seed=seed)
         self.commit_log = CommitLog(group_commit_ops=config.group_commit_ops)
         self.sstables: list[SSTable] = []
+        #: Logical WAL records since the last flush, in append order —
+        #: what a crash-recovery replay reconstructs the memtable from.
+        self._wal_records: list[tuple[str, object, int]] = []
         #: Per-engine generation counter.  Generations seed the page-cache
         #: block layout, so they must depend only on this engine's own
         #: history — the process-global SSTable counter would make a run's
@@ -112,7 +115,9 @@ class LSMEngine:
         self.writes += 1
         payload = sstable_entry_size(key, fields)
         synced = self.commit_log.append(payload)
-        self.memtable.put(key, fields, self._next_seq())
+        seq = self._next_seq()
+        self.memtable.put(key, fields, seq)
+        self._wal_records.append((key, dict(fields), seq))
         bill = IoBill(wal_sync_bytes=synced)
         self._maybe_flush(bill)
         return bill
@@ -122,7 +127,9 @@ class LSMEngine:
         self.writes += 1
         payload = sstable_entry_size(key, TOMBSTONE)
         synced = self.commit_log.append(payload)
-        self.memtable.delete(key, self._next_seq())
+        seq = self._next_seq()
+        self.memtable.delete(key, seq)
+        self._wal_records.append((key, TOMBSTONE, seq))
         bill = IoBill(wal_sync_bytes=synced)
         self._maybe_flush(bill)
         return bill
@@ -147,7 +154,29 @@ class LSMEngine:
         self.commit_log.force_sync()
         self.commit_log.mark_clean(active - 1)
         self.memtable = Memtable(seed=self._seed + self.flushes)
+        self._wal_records = []
         return table.size_bytes
+
+    def simulate_crash(self) -> int:
+        """Crash the node and replay the WAL, as recovery would.
+
+        SSTables are durable; the memtable is rebuilt from the commit
+        log's *synced* records.  The unsynced group-commit tail is lost —
+        the write-durability window both Cassandra and HBase accept in
+        exchange for group commit.  Returns the number of writes lost.
+        """
+        lost = self.commit_log.pending_ops
+        survivors = (self._wal_records[:-lost] if lost
+                     else list(self._wal_records))
+        self.commit_log.discard_unsynced()
+        self.memtable = Memtable(seed=self._seed + self.flushes)
+        for key, value, seq in survivors:
+            if value is TOMBSTONE:
+                self.memtable.delete(key, seq)
+            else:
+                self.memtable.put(key, value, seq)
+        self._wal_records = survivors
+        return lost
 
     def maybe_compact(self) -> Optional[CompactionTask]:
         """Run one round of size-tiered compaction if a bucket is ripe."""
@@ -215,29 +244,54 @@ class LSMEngine:
 
     def scan(self, start_key: str, count: int) -> tuple[
             list[tuple[str, Mapping[str, str]]], IoBill]:
-        """Range scan merged across the memtable and every SSTable."""
+        """Range scan merged across the memtable and every SSTable.
+
+        Tombstones consume candidates without yielding rows, so a fixed
+        per-source fetch of ``count`` can truncate the scan early and skip
+        live keys hiding behind deleted ones.  Like Cassandra's range
+        reads, the fetch widens until ``count`` live rows are found or
+        every source is exhausted.
+        """
         self.reads += 1
-        by_key: dict[str, list[Versioned]] = {}
-        sources = 0
-        blocks: list[tuple] = []
-        for table in self.sstables:
-            chunk = table.scan(start_key, count)
-            if chunk:
-                sources += 1
-                for key, versioned in chunk:
-                    blocks.append(self._block_of(table, key))
-                    by_key.setdefault(key, []).append(versioned)
-        for key, versioned in self.memtable.scan(start_key, count):
-            by_key.setdefault(key, []).append(versioned)
-        live: list[tuple[str, Mapping[str, str]]] = []
-        for key in sorted(by_key):
-            resolved = resolve_versions(by_key[key])
-            if resolved.value is not TOMBSTONE:
-                live.append((key, resolved.value))
-            if len(live) == count:
-                break
-        bill = IoBill(runs_touched=sources, blocks=tuple(blocks))
-        return live, bill
+        need = count
+        while True:
+            by_key: dict[str, list[Versioned]] = {}
+            sources = 0
+            blocks: list[tuple] = []
+            # A source that filled its chunk may hold unseen keys beyond
+            # its last returned one; the merge can only trust keys up to
+            # the smallest such last-key (the frontier).
+            frontier: Optional[str] = None
+            for table in self.sstables:
+                chunk = table.scan(start_key, need)
+                if chunk:
+                    sources += 1
+                    for key, versioned in chunk:
+                        blocks.append(self._block_of(table, key))
+                        by_key.setdefault(key, []).append(versioned)
+                    if len(chunk) == need:
+                        last = chunk[-1][0]
+                        frontier = (last if frontier is None
+                                    else min(frontier, last))
+            mem_chunk = list(self.memtable.scan(start_key, need))
+            for key, versioned in mem_chunk:
+                by_key.setdefault(key, []).append(versioned)
+            if len(mem_chunk) == need:
+                last = mem_chunk[-1][0]
+                frontier = last if frontier is None else min(frontier, last)
+            live: list[tuple[str, Mapping[str, str]]] = []
+            for key in sorted(by_key):
+                if frontier is not None and key > frontier:
+                    break
+                resolved = resolve_versions(by_key[key])
+                if resolved.value is not TOMBSTONE:
+                    live.append((key, resolved.value))
+                if len(live) == count:
+                    break
+            if len(live) >= count or frontier is None:
+                bill = IoBill(runs_touched=sources, blocks=tuple(blocks))
+                return live, bill
+            need *= 2
 
     def iter_blocks(self):
         """All on-disk block ids (cache warm-up after a load phase)."""

@@ -82,6 +82,29 @@ class CommitLog:
             return self.force_sync()
         return 0
 
+    @property
+    def pending_ops(self) -> int:
+        """Writes appended but not yet fsynced (lost if the node crashes)."""
+        return self._unsynced_ops
+
+    def discard_unsynced(self) -> int:
+        """Crash semantics: the unsynced tail never reached the platter.
+
+        Returns the number of writes lost.  This is exactly the window
+        group commit trades for throughput — ``commitlog_sync: periodic``
+        acknowledges writes the disk has not yet seen.
+        """
+        lost = self._unsynced_ops
+        self.appended_entries -= self._unsynced_ops
+        self.appended_bytes -= self._unsynced_bytes
+        segment = self.active_segment
+        segment.size_bytes = max(0, segment.size_bytes
+                                 - self._unsynced_bytes)
+        segment.entries = max(0, segment.entries - self._unsynced_ops)
+        self._unsynced_ops = 0
+        self._unsynced_bytes = 0
+        return lost
+
     def force_sync(self) -> int:
         """Flush the pending batch; returns the bytes written to disk."""
         flushed = self._unsynced_bytes

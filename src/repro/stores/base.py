@@ -141,7 +141,28 @@ class StoreSession:
     def execute(self, op: OpType, key: str,
                 fields: Optional[Mapping[str, str]] = None,
                 scan_length: int = 0):
-        """Dispatch one operation; returns its result."""
+        """Dispatch one operation; returns its result.
+
+        Inside a sampled trace the whole store-level call is wrapped in a
+        ``<store>.<op>`` span; the store implementations annotate it with
+        routing decisions (coordinator, region, shard, partition).
+        """
+        sim = self.store.sim
+        if sim.tracer is not None and sim.context is not None:
+            span = sim.tracer.start_span(
+                f"{self.store.name}.{op.value}", "store", {"key": key})
+            try:
+                result = yield from self._dispatch(op, key, fields,
+                                                   scan_length)
+            finally:
+                sim.tracer.end_span(span)
+            return result
+        result = yield from self._dispatch(op, key, fields, scan_length)
+        return result
+
+    def _dispatch(self, op: OpType, key: str,
+                  fields: Optional[Mapping[str, str]],
+                  scan_length: int):
         if op is OpType.READ:
             result = yield from self.read(key)
         elif op is OpType.INSERT:

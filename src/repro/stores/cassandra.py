@@ -300,6 +300,8 @@ class CassandraSession(StoreSession):
         store = self.store
         sim = store.sim
         coordinator = self._next_coordinator()
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(coordinator=coordinator, owner=owner)
         yield from store.client_cpu(self.client)
         coordinator_node = store.cluster.servers[coordinator]
 
@@ -364,6 +366,9 @@ class CassandraSession(StoreSession):
         response = store.response_bytes(0)
         coordinator = self._next_coordinator()
         coordinator_node = store.cluster.servers[coordinator]
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(coordinator=coordinator,
+                                replicas=list(replicas))
         yield from store.client_cpu(self.client)
 
         def coordinate():
@@ -389,7 +394,16 @@ class CassandraSession(StoreSession):
                         request, response,
                         store._apply_write(replica, key, fields),
                     )))
-            yield sim.k_of(acks, needed)
+            if sim.tracer is not None and sim.context is not None:
+                span = sim.tracer.start_span(
+                    "replica_wait", "replica-wait",
+                    {"needed": needed, "live": len(live)})
+                try:
+                    yield sim.k_of(acks, needed)
+                finally:
+                    sim.tracer.end_span(span)
+            else:
+                yield sim.k_of(acks, needed)
             return True
 
         result = yield from store.cluster.network.rpc(

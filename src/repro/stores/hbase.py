@@ -52,7 +52,8 @@ class RegionServer:
         self.node = node
         self.index = index
         self.handlers = Resource(node.sim, self.HANDLER_COUNT,
-                                 f"hbase-handlers:{node.name}")
+                                 f"hbase-handlers:{node.name}",
+                                 component="store")
         self.regions: dict[int, LSMEngine] = {}
         self.wal_path = f"/hbase/wal/{node.name}.log"
         store.hdfs.create(self.wal_path)
@@ -240,14 +241,36 @@ class HBaseStore(Store):
     # -- region ---------------------------------------------------------------
 
     def _with_handler(self, server: RegionServer, body):
-        """Run ``body`` while holding one of the server's RPC handlers."""
-        request = server.handlers.request()
-        yield request
+        """Run ``body`` while holding one of the server's RPC handlers.
+
+        Under tracing the handler hold is a span with a ``wait`` child
+        covering time queued for a free handler — the choke point behind
+        HBase's read latencies under load, made visible.
+        """
+        sim = self.sim
+        traced = sim.tracer is not None and sim.context is not None
+        if traced:
+            span = sim.tracer.start_span(
+                f"handler:{server.node.name}", "store",
+                {"handlers": server.handlers.capacity})
         try:
-            result = yield from body
-            return result
+            request = server.handlers.request()
+            if traced and not request.triggered:
+                wait = sim.tracer.start_span("wait", "queue")
+                try:
+                    yield request
+                finally:
+                    sim.tracer.end_span(wait)
+            else:
+                yield request
+            try:
+                result = yield from body
+                return result
+            finally:
+                server.handlers.release(request)
         finally:
-            server.handlers.release(request)
+            if traced:
+                sim.tracer.end_span(span)
 
     def _persist_bill(self, server: RegionServer, region_id: int, bill):
         """Apply an engine IoBill through HDFS (async where HBase is)."""
@@ -314,6 +337,9 @@ class HBaseSession(StoreSession):
         store = self.store
         region_id = store.region_of(key)
         server = store.server_of_region(region_id)
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(region=region_id, server=server.node.name)
         yield from store.client_cpu(self.client)
         result = yield from self._rpc(
             server, store._serve_read(region_id, key),
@@ -366,6 +392,9 @@ class HBaseSession(StoreSession):
         store = self.store
         region_id = store.region_of(start_key)
         server = store.server_of_region(region_id)
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(region=region_id, server=server.node.name)
         yield from store.client_cpu(self.client)
         rows = yield from self._rpc(
             server, store._serve_scan(region_id, start_key, count),

@@ -222,6 +222,9 @@ class MySQLSession(StoreSession):
     def _call(self, shard: int, handler, request_bytes: int,
               response_bytes: int):
         store = self.store
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(shard=shard)
         yield from store.client_cpu(self.client)
         result = yield from store.cluster.network.rpc(
             self.client, store.cluster.servers[shard],

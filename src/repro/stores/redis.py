@@ -65,7 +65,8 @@ class RedisStore(Store):
         ]
         # One event loop per instance: Redis 2.4 is single-threaded.
         self.event_loops = [
-            Resource(cluster.sim, 1, f"redis-loop:{node.name}")
+            Resource(cluster.sim, 1, f"redis-loop:{node.name}",
+                     component="cpu")
             for node in cluster.servers
         ]
 
@@ -117,16 +118,37 @@ class RedisStore(Store):
     # -- server ---------------------------------------------------------------
 
     def _on_loop(self, shard_index: int, cpu_seconds: float, action=None):
-        """Run ``action`` under the shard's event loop for ``cpu_seconds``."""
+        """Run ``action`` under the shard's event loop for ``cpu_seconds``.
+
+        The single-threaded loop is the shard's serialisation point;
+        under tracing the hold emits a span with a ``wait`` child for
+        time spent queued behind other commands.
+        """
         node = self.cluster.servers[shard_index]
         loop = self.event_loops[shard_index]
-        request = loop.request()
-        yield request
+        sim = self.sim
+        traced = sim.tracer is not None and sim.context is not None
+        if traced:
+            span = sim.tracer.start_span(loop.name, "cpu",
+                                         {"shard": shard_index})
         try:
-            yield self.sim.timeout(cpu_seconds / node.spec.core_speed)
-            return action() if action is not None else None
+            request = loop.request()
+            if traced and not request.triggered:
+                wait = sim.tracer.start_span("wait", "queue")
+                try:
+                    yield request
+                finally:
+                    sim.tracer.end_span(wait)
+            else:
+                yield request
+            try:
+                yield sim.timeout(cpu_seconds / node.spec.core_speed)
+                return action() if action is not None else None
+            finally:
+                loop.release(request)
         finally:
-            loop.release(request)
+            if traced:
+                sim.tracer.end_span(span)
 
     def _apply_read(self, shard_index: int, key: str):
         result = yield from self._on_loop(
@@ -170,6 +192,9 @@ class RedisSession(StoreSession):
     def _call(self, shard_index: int, handler, request_bytes: int,
               response_bytes: int):
         store = self.store
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(shard=shard_index)
         yield from store.client_cpu(self.client)
         result = yield from store.cluster.network.rpc(
             self.client, store.cluster.servers[shard_index],

@@ -168,6 +168,9 @@ class VoldemortSession(StoreSession):
     def _call(self, owner: int, handler, request_bytes: int,
               response_bytes: int):
         store = self.store
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(owner=owner)
         yield from store.client_cpu(self.client)
         result = yield from store.cluster.network.rpc(
             self.client, store.cluster.servers[owner],

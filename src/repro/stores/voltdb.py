@@ -60,12 +60,13 @@ class VoltDBStore(Store):
             SkipList(seed=i) for i in range(self.n_partitions)
         ]
         self.sites = [
-            Resource(cluster.sim, 1, f"voltdb-site:{i}")
+            Resource(cluster.sim, 1, f"voltdb-site:{i}", component="cpu")
             for i in range(self.n_partitions)
         ]
         # The global transaction initiator/sequencer (only exercised in
         # multi-node deployments).
-        self.sequencer = Resource(cluster.sim, 1, "voltdb-sequencer")
+        self.sequencer = Resource(cluster.sim, 1, "voltdb-sequencer",
+                                  component="store")
 
     @classmethod
     def default_profile(cls) -> ServiceProfile:
@@ -114,16 +115,36 @@ class VoltDBStore(Store):
         yield from self.sequencer.use(hold)
 
     def _run_on_site(self, partition: int, cpu_seconds: float, action):
-        """Execute a procedure fragment serially on the partition's site."""
+        """Execute a procedure fragment serially on the partition's site.
+
+        Under tracing the site hold is a span with a ``wait`` child for
+        time spent queued behind the partition's serial executor.
+        """
         node = self.cluster.servers[self.node_of_partition(partition)]
         site = self.sites[partition]
-        request = site.request()
-        yield request
+        sim = self.sim
+        traced = sim.tracer is not None and sim.context is not None
+        if traced:
+            span = sim.tracer.start_span(site.name, "cpu",
+                                         {"partition": partition})
         try:
-            yield self.sim.timeout(cpu_seconds / node.spec.core_speed)
-            return action()
+            request = site.request()
+            if traced and not request.triggered:
+                wait = sim.tracer.start_span("wait", "queue")
+                try:
+                    yield request
+                finally:
+                    sim.tracer.end_span(wait)
+            else:
+                yield request
+            try:
+                yield sim.timeout(cpu_seconds / node.spec.core_speed)
+                return action()
+            finally:
+                site.release(request)
         finally:
-            site.release(request)
+            if traced:
+                sim.tracer.end_span(span)
 
     def _single_partition(self, partition: int, cpu: float, action):
         node = self.cluster.servers[self.node_of_partition(partition)]
@@ -214,6 +235,9 @@ class VoltDBSession(StoreSession):
     def read(self, key: str):
         store = self.store
         partition = store.partition_of(key)
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(partition=partition)
         result = yield from self._call(
             store._proc_read(partition, key),
             store.request_bytes(key), store.response_bytes(1),
@@ -223,6 +247,9 @@ class VoltDBSession(StoreSession):
     def insert(self, key: str, fields: Mapping[str, str]):
         store = self.store
         partition = store.partition_of(key)
+        sim = store.sim
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(partition=partition)
         result = yield from self._call(
             store._proc_write(partition, key, fields),
             store.request_bytes(key, fields, with_payload=True),

@@ -1,0 +1,27 @@
+"""Per-operation tracing: APM-style spans over the simulated stack.
+
+The paper is about Application Performance Management, so the
+reproduction dogfoods the use case: every sampled YCSB operation yields
+a full span tree — client driver work, NIC serialisation, queue waits,
+server CPU, disk service, replica fan-out — from which per-component
+latency attribution is computed.  See DESIGN.md ("Per-operation
+tracing") for the span taxonomy.
+"""
+
+from repro.trace.span import Span, Trace, Tracer, span, trace_active
+from repro.trace.breakdown import (
+    COMPONENT_ORDER,
+    attribute,
+    ComponentBreakdown,
+)
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "span",
+    "trace_active",
+    "attribute",
+    "ComponentBreakdown",
+    "COMPONENT_ORDER",
+]

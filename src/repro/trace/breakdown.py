@@ -1,0 +1,151 @@
+"""Latency attribution: from a span tree to per-component wall-clock time.
+
+The attribution question is "where did this operation's latency go?".
+The answer must *sum to the measured latency* even when branches run in
+parallel (replica fan-out, sharded scans), so attribution is computed by
+a timeline sweep over the root span's interval:
+
+* at any instant, the **charged** spans are the active spans with no
+  active child — the leaves of the currently-active tree;
+* each elementary interval's width is split equally among the charged
+  spans and credited to their components;
+* child spans are clipped to the root interval, so background work that
+  outlives the response (commit-log drains, flushes) never inflates the
+  attribution.
+
+Because the root span is active throughout, every instant is charged to
+exactly one partition of components, and the per-component totals sum to
+the root duration (the measured operation latency) by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.trace.span import Trace
+
+__all__ = ["attribute", "ComponentBreakdown", "COMPONENT_ORDER"]
+
+#: Display order for the latency-breakdown table (unknown components are
+#: appended alphabetically).
+COMPONENT_ORDER = (
+    "client",
+    "network",
+    "queue",
+    "cpu",
+    "store",
+    "disk",
+    "replica-wait",
+    "op",
+)
+
+
+def attribute(trace: "Trace") -> dict[str, float]:
+    """Per-component seconds for one trace; values sum to its latency."""
+    root = trace.root
+    if root.end is None or root.end <= root.start:
+        return {}
+    lo, hi = root.start, root.end
+    clipped: list[tuple[float, float, object]] = []
+    for node in root.walk():
+        start = max(node.start, lo)
+        end = hi if node.end is None else min(node.end, hi)
+        if end <= start and node is not root:
+            continue
+        clipped.append((start, end, node))
+
+    starts: dict[float, list] = {}
+    ends: dict[float, list] = {}
+    for start, end, node in clipped:
+        starts.setdefault(start, []).append(node)
+        ends.setdefault(end, []).append(node)
+    times = sorted(set(starts) | set(ends))
+
+    active: set = set()
+    active_children: dict = {}
+    totals: dict[str, float] = {}
+    for index in range(len(times) - 1):
+        now = times[index]
+        for node in ends.get(now, ()):
+            active.discard(node)
+            parent = node.parent
+            if parent is not None:
+                active_children[parent] = active_children.get(parent, 0) - 1
+        for node in starts.get(now, ()):
+            active.add(node)
+            active_children.setdefault(node, 0)
+            parent = node.parent
+            if parent is not None:
+                active_children[parent] = active_children.get(parent, 0) + 1
+        width = times[index + 1] - now
+        charged = [node for node in active if not active_children.get(node)]
+        if not charged:
+            continue
+        share = width / len(charged)
+        for node in charged:
+            totals[node.component] = totals.get(node.component, 0.0) + share
+    return totals
+
+
+def order_components(components: Iterable[str]) -> list[str]:
+    """Components in canonical display order."""
+    known = [c for c in COMPONENT_ORDER if c in components]
+    extra = sorted(c for c in components if c not in COMPONENT_ORDER)
+    return known + extra
+
+
+class ComponentBreakdown:
+    """Aggregated per-component latency attribution over many traces."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.ops = 0
+        self.total_latency = 0.0
+
+    def add_trace(self, trace: "Trace") -> dict[str, float]:
+        """Fold one finished trace in; returns its attribution."""
+        attribution = attribute(trace)
+        for component, value in attribution.items():
+            self.seconds[component] = (
+                self.seconds.get(component, 0.0) + value
+            )
+        self.ops += 1
+        self.total_latency += trace.latency
+        return attribution
+
+    @property
+    def attributed_seconds(self) -> float:
+        """Total seconds attributed across all components."""
+        return sum(self.seconds.values())
+
+    def mean_ms(self, component: str) -> float:
+        """Mean per-operation milliseconds spent in ``component``."""
+        if not self.ops:
+            return 0.0
+        return 1000.0 * self.seconds.get(component, 0.0) / self.ops
+
+    def share(self, component: str) -> float:
+        """Fraction of total attributed latency spent in ``component``."""
+        total = self.attributed_seconds
+        if total <= 0:
+            return 0.0
+        return self.seconds.get(component, 0.0) / total
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """``(component, mean_ms_per_op, share)`` rows in display order."""
+        return [(c, self.mean_ms(c), self.share(c))
+                for c in order_components(self.seconds)]
+
+    def render(self, title: str = "latency attribution") -> str:
+        """An aligned ASCII table of the breakdown."""
+        lines = [f"{title} ({self.ops} sampled ops)"]
+        if not self.ops:
+            lines.append("  (no traces sampled)")
+            return "\n".join(lines)
+        lines.append(f"  {'component':<14} {'ms/op':>10} {'share':>8}")
+        for component, ms, share in self.rows():
+            lines.append(f"  {component:<14} {ms:>10.4f} {share:>7.1%}")
+        mean_total = 1000.0 * self.total_latency / self.ops
+        lines.append(f"  {'total':<14} {mean_total:>10.4f} {'100.0%':>8}")
+        return "\n".join(lines)

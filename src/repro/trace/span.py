@@ -1,0 +1,197 @@
+"""Spans, traces and the tracer.
+
+A :class:`Span` is a named, timed interval in *simulated* time, tagged
+with a **component** (the attribution bucket: ``client``, ``network``,
+``cpu``, ``disk``, ``queue``, ``store``, ``replica-wait``, ...).  Spans
+nest into a tree rooted at the operation's root span; one sampled YCSB
+operation produces one :class:`Trace`.
+
+Context propagation rides on the kernel: :class:`~repro.sim.kernel.Simulator`
+carries an opaque ``context`` slot that every :class:`~repro.sim.kernel.Process`
+inherits at spawn time and swaps in while its generator runs.  The tracer
+stores the *currently open span* there, so child spans — even ones opened
+by sub-processes scheduled much later — attach to the right parent without
+any explicit plumbing through the store code.
+
+Sampling is deterministic (every ``sample_every``-th operation), so a
+fixed seed yields byte-identical trace output across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["Span", "Trace", "Tracer", "span", "trace_active"]
+
+
+class Span:
+    """One timed interval in the tree of a sampled operation."""
+
+    __slots__ = ("name", "component", "start", "end", "parent", "children",
+                 "meta")
+
+    def __init__(self, name: str, component: str, start: float,
+                 parent: Optional["Span"] = None,
+                 meta: Optional[dict[str, Any]] = None):
+        self.name = name
+        self.component = component
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent = parent
+        self.children: list[Span] = []
+        self.meta = meta
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def annotate(self, **meta: Any) -> None:
+        """Attach metadata keys to this span."""
+        if self.meta is None:
+            self.meta = {}
+        self.meta.update(meta)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.component!r}, "
+                f"[{self.start:.6f}, {self.end}])")
+
+
+class Trace:
+    """One sampled operation: identity plus its root span."""
+
+    __slots__ = ("trace_id", "op", "key", "thread", "root", "error")
+
+    def __init__(self, trace_id: int, op: str, key: str, thread: int,
+                 root: Span):
+        self.trace_id = trace_id
+        self.op = op
+        self.key = key
+        self.thread = thread
+        self.root = root
+        self.error = False
+
+    @property
+    def latency(self) -> float:
+        """The operation's measured latency — the root span's duration."""
+        return self.root.duration
+
+    def spans(self) -> Iterator[Span]:
+        """All spans of the trace, depth-first."""
+        return self.root.walk()
+
+
+class Tracer:
+    """Samples operations and collects their finished traces.
+
+    Attaching a tracer to a simulator (``Tracer(sim)``) switches the
+    instrumented components (resources, network, disks, stores) into
+    span-emitting mode *for sampled operations only*: when no trace is
+    active, ``sim.context`` is ``None`` and every instrumentation site
+    takes its zero-cost fast path.
+    """
+
+    def __init__(self, sim, sample_every: int = 1, max_traces: int = 2000):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.sim = sim
+        self.sample_every = sample_every
+        self.max_traces = max_traces
+        self.traces: list[Trace] = []
+        self.dropped = 0
+        self._op_counter = 0
+        self._trace_ids = 0
+        sim.tracer = self
+
+    # -- operation lifecycle (driven by the YCSB client) ---------------------
+
+    def should_sample(self) -> bool:
+        """Deterministic sampling decision for the next operation."""
+        self._op_counter += 1
+        return (self._op_counter - 1) % self.sample_every == 0
+
+    def begin(self, op: str, key: str, thread: int) -> Trace:
+        """Open a root span for one operation and activate its context."""
+        self._trace_ids += 1
+        root = Span(f"op.{op}", "op", self.sim.now)
+        trace = Trace(self._trace_ids, op, key, thread, root)
+        self.sim.context = root
+        return trace
+
+    def complete(self, trace: Trace, error: bool = False) -> Trace:
+        """Close the root span and deactivate the context."""
+        trace.root.end = self.sim.now
+        trace.error = error
+        self.sim.context = None
+        if len(self.traces) < self.max_traces:
+            self.traces.append(trace)
+        else:
+            self.dropped += 1
+        return trace
+
+    # -- span API (instrumentation sites) ------------------------------------
+
+    def start_span(self, name: str, component: str,
+                   meta: Optional[dict[str, Any]] = None) -> Span:
+        """Open a child span under the currently active span."""
+        parent = self.sim.context
+        child = Span(name, component, self.sim.now, parent, meta)
+        if parent is not None:
+            parent.children.append(child)
+        self.sim.context = child
+        return child
+
+    def end_span(self, child: Span) -> None:
+        """Close ``child`` and pop the context back to its parent."""
+        child.end = self.sim.now
+        self.sim.context = child.parent
+
+    def annotate(self, **meta: Any) -> None:
+        """Tag the currently active span (no-op when none is active)."""
+        current = self.sim.context
+        if current is not None:
+            current.annotate(**meta)
+
+
+def trace_active(sim) -> bool:
+    """Whether the current process is inside a sampled operation."""
+    return sim.tracer is not None and sim.context is not None
+
+
+class span:
+    """Span context manager: no-op unless a sampled trace is active.
+
+    Usage inside any simulation process body::
+
+        with span(sim, "net.transfer", "network", nbytes=n):
+            yield ...
+    """
+
+    __slots__ = ("sim", "name", "component", "meta", "_span")
+
+    def __init__(self, sim, name: str, component: str, **meta: Any):
+        self.sim = sim
+        self.name = name
+        self.component = component
+        self.meta = meta or None
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Optional[Span]:
+        tracer = self.sim.tracer
+        if tracer is None or self.sim.context is None:
+            return None
+        self._span = tracer.start_span(self.name, self.component, self.meta)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        if self._span is not None:
+            self.sim.tracer.end_span(self._span)
+        return False

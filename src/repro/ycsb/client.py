@@ -57,7 +57,7 @@ class ClientThread:
                  chooser, sequence: KeySequence, stats: RunStats,
                  control: RunControl, rng: random.Random,
                  schema: RecordSchema, throttle: Throttle | None = None,
-                 retry: RetryPolicy | None = None):
+                 retry: RetryPolicy | None = None, tracer=None):
         self.session = session
         self.workload = workload
         self.chooser = chooser
@@ -68,6 +68,7 @@ class ClientThread:
         self.schema = schema
         self.throttle = throttle
         self.retry = retry if retry is not None else session.store.retry_policy()
+        self.tracer = tracer
         self._op_table = workload.op_table()
 
     def _draw_op(self) -> OpType:
@@ -108,6 +109,13 @@ class ClientThread:
             # starts the operation timer.
             yield from self.session.store.dispatch_cpu(self.session.client)
             started = sim.now
+            # Sample traces only inside the measurement window, so the
+            # trace set matches the latencies the histograms report.
+            trace = None
+            if (self.tracer is not None and self.control.measuring
+                    and not self.control.done
+                    and self.tracer.should_sample()):
+                trace = self.tracer.begin(op.value, key, self.session.index)
             error = False
             attempt = 1
             while True:
@@ -133,7 +141,11 @@ class ClientThread:
                     if backoff > 0:
                         yield sim.timeout(backoff)
             latency = sim.now - started
+            if trace is not None:
+                self.tracer.complete(trace, error)
             self.stats.note_op(sim.now, error)
             if self.control.measuring and not self.control.done:
                 self.stats.record(op, latency, error)
+                if trace is not None:
+                    self.stats.note_trace(trace)
             self.control.note_completion(self.stats, sim.now)

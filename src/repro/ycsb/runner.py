@@ -28,6 +28,7 @@ from repro.sim.cluster import CLUSTER_M, Cluster, ClusterSpec
 from repro.storage.record import APM_SCHEMA, RecordSchema
 from repro.stores.base import OpType, RetryPolicy, Store
 from repro.stores.registry import store_class
+from repro.trace import Tracer
 from repro.ycsb.client import ClientThread, RunControl
 from repro.ycsb.generator import KeySequence, generate_records, make_chooser
 from repro.ycsb.stats import LatencyHistogram, RunStats
@@ -83,6 +84,12 @@ class BenchmarkConfig:
     availability_window_s: float = 0.25
     #: Override the store's default client retry policy.
     retry: Optional[RetryPolicy] = None
+    #: Sample every Nth measured operation into a span trace
+    #: (``None`` = tracing off).  Sampling is deterministic, so a fixed
+    #: seed yields identical traces across runs.
+    trace_sample_every: Optional[int] = None
+    #: Cap on retained traces (oldest kept; later samples only counted).
+    trace_max_traces: int = 2000
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -93,6 +100,9 @@ class BenchmarkConfig:
             raise ValueError("duration_s must be positive")
         if self.availability_window_s <= 0:
             raise ValueError("availability_window_s must be positive")
+        if (self.trace_sample_every is not None
+                and self.trace_sample_every < 1):
+            raise ValueError("trace_sample_every must be >= 1")
 
 
 @dataclass
@@ -106,6 +116,13 @@ class BenchmarkResult:
     disk_bytes_per_server: list[int]
     #: ``(time, description)`` log of every fault the controller applied.
     fault_log: list = field(default_factory=list)
+    #: Sampled span traces (empty unless ``trace_sample_every`` was set).
+    traces: list = field(default_factory=list)
+
+    @property
+    def breakdown(self):
+        """Per-component latency attribution (``None`` without tracing)."""
+        return self.stats.breakdown
 
     @property
     def timeline(self) -> Optional[AvailabilityTimeline]:
@@ -216,6 +233,11 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         chaos = ChaosController(cluster, config.fault_schedule)
         chaos.subscribe(deployed)
         chaos.start()
+    tracer = None
+    if config.trace_sample_every is not None:
+        tracer = Tracer(cluster.sim,
+                        sample_every=config.trace_sample_every,
+                        max_traces=config.trace_max_traces)
     from repro.sim.rng import RngRegistry
     rngs = RngRegistry(config.seed)
     threads = []
@@ -227,7 +249,7 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
                                sequence, rng)
         threads.append(ClientThread(
             session, workload, chooser, sequence, stats, control, rng,
-            schema, throttle, retry=config.retry,
+            schema, throttle, retry=config.retry, tracer=tracer,
         ))
     processes = [cluster.sim.process(t.run(), name=f"client-{i}")
                  for i, t in enumerate(threads)]
@@ -250,4 +272,5 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         store_errors=deployed.errors,
         disk_bytes_per_server=deployed.disk_bytes_per_server(),
         fault_log=list(chaos.log) if chaos is not None else [],
+        traces=list(tracer.traces) if tracer is not None else [],
     )

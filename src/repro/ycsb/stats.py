@@ -14,6 +14,7 @@ from typing import Mapping, Optional
 
 from repro.faults.availability import AvailabilityTimeline
 from repro.stores.base import OpType
+from repro.trace.breakdown import ComponentBreakdown
 
 __all__ = ["LatencyHistogram", "RunStats"]
 
@@ -73,10 +74,13 @@ class LatencyHistogram:
         for index, bucket_count in enumerate(self._counts):
             seen += bucket_count
             if seen >= target:
-                # upper edge of the bucket
-                return self.MIN_LATENCY * 10 ** (
+                # Upper edge of the bucket, clamped to the observed range
+                # so estimates never exceed ``max`` (a single sample's
+                # bucket edge can overshoot it) or undercut ``min``.
+                edge = self.MIN_LATENCY * 10 ** (
                     (index + 1) / self.BUCKETS_PER_DECADE
                 )
+                return min(max(edge, self._min), self.max)
         return self.max
 
     def merge(self, other: "LatencyHistogram") -> None:
@@ -102,6 +106,9 @@ class RunStats:
     #: Windowed throughput/error series spanning the *whole* run (warm-up
     #: included) — attached by the runner for chaos experiments.
     timeline: Optional[AvailabilityTimeline] = None
+    #: Per-component latency attribution over the sampled traces
+    #: (populated lazily by :meth:`note_trace` when tracing is on).
+    breakdown: Optional[ComponentBreakdown] = None
 
     def histogram(self, op: OpType) -> LatencyHistogram:
         """The histogram for ``op``, created on first use."""
@@ -127,6 +134,12 @@ class RunStats:
         """
         if self.timeline is not None:
             self.timeline.record(now, error)
+
+    def note_trace(self, trace) -> None:
+        """Fold one sampled trace into the per-component breakdown."""
+        if self.breakdown is None:
+            self.breakdown = ComponentBreakdown()
+        self.breakdown.add_trace(trace)
 
     @property
     def error_rate(self) -> float:

@@ -81,6 +81,7 @@ class TestFigureData:
         assert data.max_x() == 2.0
 
 
+@pytest.mark.slow
 class TestSweepBuilder:
     """One real (tiny) sweep exercising the shared-cache machinery."""
 

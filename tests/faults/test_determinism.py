@@ -7,10 +7,15 @@ at all: a failure signature can be replayed as many times as needed.
 
 from dataclasses import replace
 
+import pytest
+
 from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import CLUSTER_M
 from repro.ycsb.runner import run_benchmark
 from repro.ycsb.workload import WORKLOADS
+
+#: Each case runs a full chaos benchmark twice: slow tier.
+pytestmark = pytest.mark.slow
 
 SMALL_M = replace(CLUSTER_M, connections_per_node=4)
 

@@ -8,6 +8,8 @@ deployments simply lose the crashed shard's keyspace.
 
 from dataclasses import replace
 
+import pytest
+
 from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import CLUSTER_M, Cluster
 from repro.stores.cassandra import CassandraStore
@@ -20,6 +22,7 @@ from repro.ycsb.workload import WORKLOADS
 SMALL_M = replace(CLUSTER_M, connections_per_node=4)
 
 
+@pytest.mark.slow
 def test_cassandra_quorum_survives_single_node_crash():
     """RF=3/quorum on 3 nodes: one crash, zero visible errors, recovery."""
     schedule = FaultSchedule().crash("server-1", at=0.6, restart_after=0.7)
@@ -75,6 +78,7 @@ def test_cassandra_hinted_handoff_queues_and_replays():
     assert store.engines[1].get("user00000000000000000042").fields
 
 
+@pytest.mark.slow
 def test_redis_loses_crashed_shard_keyspace_for_good():
     """Client-side sharding: a dead shard's keys stay dead (no failover)."""
     schedule = FaultSchedule().crash("server-0", at=0.5)

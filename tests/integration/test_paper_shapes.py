@@ -16,6 +16,9 @@ from repro.ycsb.workload import (
     WORKLOAD_W,
 )
 
+#: Real benchmark sweeps: excluded from the default fast tier.
+pytestmark = pytest.mark.slow
+
 FAST = dict(records_per_node=6000, measured_ops=1500, warmup_ops=300)
 
 

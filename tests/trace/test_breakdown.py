@@ -1,0 +1,127 @@
+"""Unit tests for the latency-attribution sweep and breakdown table."""
+
+import random
+
+import pytest
+
+from repro.trace import ComponentBreakdown, Span, Trace, attribute
+from repro.trace.breakdown import order_components
+
+
+def _trace(root: Span) -> Trace:
+    return Trace(1, "read", "k", 0, root)
+
+
+def _child(parent: Span, name: str, component: str, start: float,
+           end: float) -> Span:
+    node = Span(name, component, start, parent=parent)
+    node.end = end
+    parent.children.append(node)
+    return node
+
+
+class TestAttribute:
+    def test_sequential_children_plus_root_gap(self):
+        root = Span("op.read", "op", 0.0)
+        root.end = 10.0
+        _child(root, "net", "network", 0.0, 3.0)
+        _child(root, "disk", "disk", 5.0, 10.0)
+        totals = attribute(_trace(root))
+        assert totals["network"] == pytest.approx(3.0)
+        assert totals["disk"] == pytest.approx(5.0)
+        assert totals["op"] == pytest.approx(2.0)  # the uncovered gap
+        assert sum(totals.values()) == pytest.approx(10.0)
+
+    def test_parallel_children_split_equally(self):
+        root = Span("op.insert", "op", 0.0)
+        root.end = 2.0
+        _child(root, "replica-a", "store", 0.0, 2.0)
+        _child(root, "replica-b", "network", 0.0, 2.0)
+        totals = attribute(_trace(root))
+        assert totals["store"] == pytest.approx(1.0)
+        assert totals["network"] == pytest.approx(1.0)
+        assert "op" not in totals
+
+    def test_nested_child_shadows_its_parent(self):
+        """Only leaves of the active tree are charged."""
+        root = Span("op.read", "op", 0.0)
+        root.end = 4.0
+        outer = _child(root, "store", "store", 0.0, 4.0)
+        inner = Span("disk", "disk", 1.0, parent=outer)
+        inner.end = 3.0
+        outer.children.append(inner)
+        totals = attribute(_trace(root))
+        assert totals["disk"] == pytest.approx(2.0)
+        assert totals["store"] == pytest.approx(2.0)
+
+    def test_background_work_clipped_to_root_interval(self):
+        """Spans outliving the response never inflate the attribution."""
+        root = Span("op.insert", "op", 0.0)
+        root.end = 1.0
+        _child(root, "commitlog", "disk", 0.5, 9.0)  # drains after the ack
+        still_open = Span("flush", "disk", 0.8, parent=root)  # never closed
+        root.children.append(still_open)
+        totals = attribute(_trace(root))
+        assert sum(totals.values()) == pytest.approx(1.0)
+
+    def test_unfinished_root_attributes_nothing(self):
+        root = Span("op.read", "op", 0.0)
+        assert attribute(_trace(root)) == {}
+
+    def test_random_trees_sum_exactly_to_latency(self):
+        """The construction guarantee: attribution is a partition."""
+        rng = random.Random(99)
+        for __ in range(25):
+            root = Span("op.read", "op", 0.0)
+            root.end = 10.0
+            frontier = [root]
+            for i in range(rng.randrange(1, 12)):
+                parent = rng.choice(frontier)
+                lo = max(parent.start, rng.uniform(0.0, 9.0))
+                hi = rng.uniform(lo, 12.0)  # may exceed the root: clipped
+                node = Span(f"s{i}", rng.choice(
+                    ["cpu", "disk", "network", "store", "queue"]),
+                    lo, parent=parent)
+                node.end = hi
+                parent.children.append(node)
+                frontier.append(node)
+            totals = attribute(_trace(root))
+            assert sum(totals.values()) == pytest.approx(10.0, rel=1e-12)
+
+
+class TestComponentBreakdown:
+    def _finished_trace(self, latency: float = 2.0) -> Trace:
+        root = Span("op.read", "op", 0.0)
+        root.end = latency
+        _child(root, "net", "network", 0.0, latency / 2)
+        return _trace(root)
+
+    def test_accumulates_ops_and_seconds(self):
+        breakdown = ComponentBreakdown()
+        breakdown.add_trace(self._finished_trace())
+        breakdown.add_trace(self._finished_trace())
+        assert breakdown.ops == 2
+        assert breakdown.total_latency == pytest.approx(4.0)
+        assert breakdown.attributed_seconds == pytest.approx(4.0)
+        assert breakdown.mean_ms("network") == pytest.approx(1000.0)
+        assert breakdown.share("network") == pytest.approx(0.5)
+
+    def test_shares_sum_to_one(self):
+        breakdown = ComponentBreakdown()
+        breakdown.add_trace(self._finished_trace())
+        assert sum(share for __, __, share in breakdown.rows()) \
+            == pytest.approx(1.0)
+
+    def test_render_lists_components_and_total(self):
+        breakdown = ComponentBreakdown()
+        breakdown.add_trace(self._finished_trace())
+        table = breakdown.render(title="latency attribution: redis")
+        assert "latency attribution: redis (1 sampled ops)" in table
+        assert "network" in table and "total" in table and "100.0%" in table
+
+    def test_render_empty(self):
+        assert "(no traces sampled)" in ComponentBreakdown().render()
+
+    def test_component_display_order(self):
+        assert order_components(["disk", "zz-custom", "client", "op"]) \
+            == ["client", "disk", "op", "zz-custom"]

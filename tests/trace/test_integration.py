@@ -1,0 +1,119 @@
+"""End-to-end tracing: benchmark runs, attribution accuracy, export.
+
+The acceptance bar: per-component span sums must match the measured
+operation latency within 1%, and trace output must be byte-identical
+across runs under a fixed seed.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.trace_export import chrome_trace, write_chrome_trace
+from repro.trace import attribute
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOADS
+
+RUN_KWARGS = dict(records_per_node=2000, measured_ops=600, warmup_ops=200,
+                  seed=42)
+
+
+def _traced_run(store="redis", nodes=2, **extra):
+    return run_benchmark(store, WORKLOADS["R"], nodes,
+                         trace_sample_every=4, **RUN_KWARGS, **extra)
+
+
+class TestAttributionAccuracy:
+    def test_span_sums_match_measured_latency_within_1pct(self):
+        result = _traced_run()
+        assert result.traces, "tracing produced no samples"
+        for trace in result.traces:
+            totals = attribute(trace)
+            assert sum(totals.values()) == pytest.approx(
+                trace.latency, rel=0.01), \
+                f"attribution diverged for trace {trace.trace_id}"
+
+    def test_breakdown_totals_match_trace_latencies(self):
+        result = _traced_run()
+        breakdown = result.breakdown
+        assert breakdown is not None
+        # The breakdown covers traces *measured* inside the window; the
+        # raw trace list may also hold ops that straddled its end.
+        assert 0 < breakdown.ops <= len(result.traces)
+        assert breakdown.attributed_seconds == pytest.approx(
+            breakdown.total_latency, rel=0.01)
+        # A read-only run on redis must spend time in client, network and
+        # server-cpu buckets at minimum.
+        for component in ("client", "network", "cpu"):
+            assert breakdown.seconds.get(component, 0.0) > 0.0
+
+    def test_replicated_cassandra_shows_replica_wait(self):
+        result = _traced_run(
+            store="cassandra",
+            store_kwargs={"replication_factor": 3,
+                          "consistency_level": "quorum"},
+        )
+        assert result.breakdown is not None
+        components = set(result.breakdown.seconds)
+        assert "replica-wait" in components
+
+    def test_tracing_off_by_default(self):
+        result = run_benchmark("redis", WORKLOADS["R"], 2, **RUN_KWARGS)
+        assert result.traces == []
+        assert result.breakdown is None
+
+
+class TestDeterminism:
+    def test_chrome_export_byte_identical_across_runs(self):
+        first = json.dumps(chrome_trace(_traced_run().traces),
+                           sort_keys=True)
+        second = json.dumps(chrome_trace(_traced_run().traces),
+                            sort_keys=True)
+        assert first == second
+
+
+class TestChromeExport:
+    def test_event_structure(self):
+        result = _traced_run()
+        payload = chrome_trace(result.traces)
+        events = payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(events) >= len(result.traces)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0.0
+            assert isinstance(event["cat"], str)
+        roots = [e for e in events if "trace_id" in e.get("args", {})]
+        assert len(roots) == len(result.traces)
+        # Root event duration is the measured latency, in microseconds.
+        by_id = {t.trace_id: t for t in result.traces}
+        for event in roots:
+            trace = by_id[event["args"]["trace_id"]]
+            assert event["dur"] == pytest.approx(trace.latency * 1e6,
+                                                 abs=1e-2)
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        result = _traced_run()
+        path = write_chrome_trace(result.traces,
+                                  str(tmp_path / "trace.json"))
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+
+
+class TestCli:
+    def test_run_with_trace_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "trace.json"
+        status = main([
+            "run", "-s", "redis", "-n", "2", "--records", "2000",
+            "--ops", "600", "--trace", "--trace-sample", "4",
+            "--trace-out", str(out_path),
+        ])
+        assert status == 0
+        captured = capsys.readouterr().out
+        assert "latency attribution: redis" in captured
+        assert "wrote" in captured
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["traceEvents"]

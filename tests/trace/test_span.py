@@ -1,0 +1,173 @@
+"""Unit tests for spans, the tracer, and kernel context propagation."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.trace import Span, Tracer, span, trace_active
+
+
+class TestSampling:
+    def test_every_nth_operation_sampled(self):
+        tracer = Tracer(Simulator(), sample_every=3)
+        decisions = [tracer.should_sample() for __ in range(9)]
+        assert decisions == [True, False, False] * 3
+
+    def test_sample_every_one_samples_everything(self):
+        tracer = Tracer(Simulator())
+        assert all(tracer.should_sample() for __ in range(5))
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(Simulator(), max_traces=0)
+
+    def test_max_traces_cap_counts_drops(self):
+        sim = Simulator()
+        tracer = Tracer(sim, max_traces=2)
+        for i in range(4):
+            tracer.complete(tracer.begin("read", f"k{i}", 0))
+        assert len(tracer.traces) == 2
+        assert tracer.dropped == 2
+
+
+class TestSpanTree:
+    def test_trace_structure_and_durations(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def op():
+            trace = tracer.begin("read", "user42", 7)
+            with span(sim, "store.read", "store", key="user42"):
+                yield sim.timeout(0.25)
+                with span(sim, "disk.read", "disk"):
+                    yield sim.timeout(0.5)
+            tracer.complete(trace)
+
+        sim.run(until=sim.process(op()))
+        (trace,) = tracer.traces
+        assert trace.op == "read" and trace.key == "user42"
+        assert trace.thread == 7
+        assert trace.latency == pytest.approx(0.75)
+        names = [s.name for s in trace.spans()]
+        assert names == ["op.read", "store.read", "disk.read"]
+        store_span = trace.root.children[0]
+        assert store_span.component == "store"
+        assert store_span.meta == {"key": "user42"}
+        assert store_span.duration == pytest.approx(0.75)
+        assert store_span.children[0].duration == pytest.approx(0.5)
+        assert store_span.children[0].parent is store_span
+
+    def test_span_is_noop_without_active_trace(self):
+        sim = Simulator()
+        Tracer(sim)  # attached, but no operation has begun
+
+        def op():
+            with span(sim, "store.read", "store") as s:
+                assert s is None
+                yield sim.timeout(0.1)
+
+        sim.run(until=sim.process(op()))
+        assert not trace_active(sim)
+
+    def test_span_is_noop_without_tracer(self):
+        sim = Simulator()
+
+        def op():
+            with span(sim, "store.read", "store") as s:
+                assert s is None
+                yield sim.timeout(0.1)
+
+        sim.run(until=sim.process(op()))
+
+    def test_annotate_targets_active_span(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        trace = tracer.begin("read", "k", 0)
+        child = tracer.start_span("net", "network")
+        tracer.annotate(bytes=512)
+        tracer.end_span(child)
+        tracer.complete(trace)
+        assert child.meta == {"bytes": 512}
+
+
+class TestContextPropagation:
+    def test_spawned_process_inherits_trace_context(self):
+        """Spans opened by a sub-process attach to the spawning trace."""
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def background():
+            with span(sim, "replica.write", "store"):
+                yield sim.timeout(0.3)
+
+        def op():
+            trace = tracer.begin("insert", "k", 0)
+            worker = sim.process(background())
+            yield worker
+            tracer.complete(trace)
+
+        sim.run(until=sim.process(op()))
+        (trace,) = tracer.traces
+        assert [s.name for s in trace.spans()] == ["op.insert",
+                                                   "replica.write"]
+
+    def test_concurrent_operations_do_not_cross_contaminate(self):
+        """Two interleaved client processes keep separate span stacks."""
+        sim = Simulator()
+        tracer = Tracer(sim)
+
+        def op(thread, delay, work):
+            yield sim.timeout(delay)
+            trace = tracer.begin("read", f"key-{thread}", thread)
+            with span(sim, f"store.read.{thread}", "store"):
+                yield sim.timeout(work)
+            tracer.complete(trace)
+
+        sim.process(op(0, 0.0, 1.0))
+        sim.process(op(1, 0.3, 1.0))
+        sim.run()
+        assert len(tracer.traces) == 2
+        for trace in tracer.traces:
+            thread = trace.thread
+            assert trace.key == f"key-{thread}"
+            (child,) = trace.root.children
+            assert child.name == f"store.read.{thread}"
+            assert trace.latency == pytest.approx(1.0)
+
+    def test_untraced_process_sees_no_context(self):
+        """A process spawned outside any trace must take the fast path."""
+        sim = Simulator()
+        tracer = Tracer(sim)
+        observed = []
+
+        def bystander():
+            yield sim.timeout(0.5)
+            observed.append(trace_active(sim))
+
+        def op():
+            trace = tracer.begin("read", "k", 0)
+            yield sim.timeout(1.0)
+            tracer.complete(trace)
+
+        sim.process(bystander())  # spawned before the trace begins
+        sim.process(op())
+        sim.run()
+        assert observed == [False]
+        assert len(tracer.traces) == 1
+        assert tracer.traces[0].root.children == []
+
+
+class TestSpanBasics:
+    def test_open_span_duration_is_zero(self):
+        s = Span("x", "cpu", 1.0)
+        assert s.duration == 0.0
+
+    def test_walk_is_depth_first(self):
+        root = Span("root", "op", 0.0)
+        a = Span("a", "cpu", 0.0, parent=root)
+        b = Span("b", "disk", 1.0, parent=root)
+        a_child = Span("a1", "network", 0.5, parent=a)
+        root.children = [a, b]
+        a.children = [a_child]
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]

@@ -1,0 +1,95 @@
+"""Property tests for :class:`LatencyHistogram`.
+
+Hypothesis-driven invariants over arbitrary latency samples:
+
+- ``percentile(p)`` is monotonically non-decreasing in ``p``;
+- the order ``min <= p50 <= p99 <= max`` always holds;
+- ``merge(a, b)`` is observably equivalent to recording every sample into
+  a single histogram.
+
+These flushed out a real estimator bug (the log-bucket upper edge could
+overshoot the observed maximum, reporting a p99 larger than the largest
+sample ever recorded); the regression case at the bottom pins the fix.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ycsb.stats import LatencyHistogram
+
+# Latencies spanning sub-bucket (< 1 us) to minutes, plus an error flag.
+SAMPLES = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False,
+                  allow_infinity=False),
+        st.booleans(),
+    ),
+    min_size=1, max_size=200,
+)
+PERCENTILES = st.lists(
+    st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+    min_size=2, max_size=8,
+)
+
+
+def _build(samples) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    for latency, error in samples:
+        histogram.record(latency, error=error)
+    return histogram
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(samples=SAMPLES, ps=PERCENTILES)
+def test_percentile_monotonic_in_p(samples, ps):
+    histogram = _build(samples)
+    estimates = [histogram.percentile(p) for p in sorted(ps)]
+    assert estimates == sorted(estimates)
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(samples=SAMPLES)
+def test_percentiles_bounded_by_observed_range(samples):
+    histogram = _build(samples)
+    assert (histogram.min
+            <= histogram.percentile(50)
+            <= histogram.percentile(99)
+            <= histogram.max)
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(left=SAMPLES, right=SAMPLES)
+def test_merge_equivalent_to_single_histogram(left, right):
+    a = _build(left)
+    b = _build(right)
+    a.merge(b)
+    combined = _build(left + right)
+    assert a._counts == combined._counts
+    assert a.count == combined.count
+    assert a.min == combined.min
+    assert a.max == combined.max
+    assert a.errors == combined.errors
+    assert abs(a.total - combined.total) <= 1e-9 * max(1.0, combined.total)
+    for p in (1, 25, 50, 90, 95, 99, 99.9, 100):
+        assert a.percentile(p) == combined.percentile(p)
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(samples=SAMPLES)
+def test_merge_into_empty_histogram(samples):
+    empty = LatencyHistogram()
+    full = _build(samples)
+    empty.merge(full)
+    assert empty.count == full.count
+    assert empty.min == full.min
+    assert empty.percentile(99) == full.percentile(99)
+
+
+def test_single_sample_percentile_does_not_overshoot_max():
+    """Regression: the raw bucket edge exceeds a mid-bucket sample, so an
+    unclamped estimator reported p50 > max for a one-sample histogram."""
+    histogram = LatencyHistogram()
+    histogram.record(1.5e-3)
+    for p in (1, 50, 99, 100):
+        assert histogram.percentile(p) == 1.5e-3
