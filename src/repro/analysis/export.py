@@ -24,13 +24,20 @@ import json
 from pathlib import Path
 
 from repro.analysis.figures import FigureData
+from repro.analysis.provenance import stamp
 
 __all__ = ["figure_to_json", "figure_to_csv", "write_figure",
            "load_figure"]
 
 
-def figure_to_json(data: FigureData, indent: int = 2) -> str:
-    """The figure as a JSON document."""
+def figure_to_json(data: FigureData, indent: int = 2,
+                   config=None, seed=None) -> str:
+    """The figure as a JSON document.
+
+    Every export carries a ``provenance`` stamp (package version, plus
+    the config hash and seed when the producing configuration is
+    passed), so artefacts stay traceable across runs and refactors.
+    """
     payload = {
         "figure_id": data.figure_id,
         "title": data.title,
@@ -41,7 +48,7 @@ def figure_to_json(data: FigureData, indent: int = 2) -> str:
                    for name, points in data.series.items()},
         "notes": list(data.notes),
     }
-    return json.dumps(payload, indent=indent)
+    return json.dumps(stamp(payload, config, seed), indent=indent)
 
 
 def figure_to_csv(data: FigureData) -> str:
@@ -56,14 +63,15 @@ def figure_to_csv(data: FigureData) -> str:
 
 
 def write_figure(data: FigureData, directory: str | Path,
-                 formats: tuple[str, ...] = ("json", "csv")) -> list[Path]:
+                 formats: tuple[str, ...] = ("json", "csv"),
+                 config=None, seed=None) -> list[Path]:
     """Write the figure under ``directory``; returns the paths written."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
     if "json" in formats:
         path = directory / f"{data.figure_id}.json"
-        path.write_text(figure_to_json(data))
+        path.write_text(figure_to_json(data, config=config, seed=seed))
         written.append(path)
     if "csv" in formats:
         path = directory / f"{data.figure_id}.csv"

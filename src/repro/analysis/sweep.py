@@ -8,11 +8,13 @@ Used by ``examples/scaling_study.py``.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterable, Optional
 
 from repro.analysis.cache import ResultCache, default_cache
+from repro.analysis.provenance import stamp
 from repro.sim.cluster import CLUSTER_M, ClusterSpec
 from repro.ycsb.runner import BenchmarkResult
 from repro.ycsb.workload import Workload
@@ -66,6 +68,24 @@ class SweepResult:
         if not candidates:
             return None
         return max(candidates, key=lambda r: getattr(r, metric))
+
+    def to_json(self, indent: int = 2) -> str:
+        """The sweep as a JSON document with a ``provenance`` stamp.
+
+        The stamp hashes the full :class:`SweepSpec` (including its
+        seed), so an exported sweep names the exact configuration
+        product that produced it.
+        """
+        payload = {
+            "rows": self.rows(),
+            "skipped": [
+                {"store": store, "workload": workload.name,
+                 "n_nodes": nodes, "reason": reason}
+                for store, workload, nodes, reason in self.skipped
+            ],
+        }
+        return json.dumps(stamp(payload, self.spec), indent=indent,
+                          sort_keys=True)
 
     def series(self, store: str, workload_name: str,
                metric: str = "throughput_ops") -> list[tuple[int, float]]:

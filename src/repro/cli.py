@@ -45,6 +45,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace_kwargs = {}
     if args.trace:
         trace_kwargs["trace_sample_every"] = args.trace_sample
+    if args.metrics:
+        trace_kwargs["metrics_interval_s"] = args.metrics_interval
     result = run_benchmark(
         args.store, workload, args.nodes, cluster_spec=spec,
         records_per_node=args.records, measured_ops=args.ops,
@@ -79,6 +81,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         path = write_chrome_trace(result.traces, args.trace_out)
         print(f"wrote {len(result.traces)} traces to {path} "
               "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics and result.metrics is not None:
+        import json
+        from pathlib import Path
+
+        from repro.analysis.provenance import stamp
+
+        print()
+        print(result.metrics.render())
+        base = Path(args.metrics_out)
+        base.parent.mkdir(parents=True, exist_ok=True)
+        csv_path = base.with_suffix(".csv")
+        csv_path.write_text(result.metrics.to_csv())
+        prom_path = base.with_suffix(".prom")
+        prom_path.write_text(result.metrics.to_prometheus())
+        json_path = base.with_suffix(".json")
+        payload = stamp(result.metrics.to_payload(), result.config)
+        json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote metrics to {csv_path} (timeseries), {prom_path} "
+              f"(snapshot), {json_path} (report)")
     return 0
 
 
@@ -203,6 +224,20 @@ def main(argv: list[str] | None = None) -> int:
                             metavar="N",
                             help="trace every Nth measured op "
                                  "(default 8)")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="collect per-node telemetry and print a "
+                                 "utilisation table, bottleneck verdict "
+                                 "and sustained-throughput check")
+    run_parser.add_argument("--metrics-interval", type=float, default=0.05,
+                            metavar="SECONDS",
+                            help="sampling interval of the metrics "
+                                 "timeseries in simulated seconds "
+                                 "(default 0.05)")
+    run_parser.add_argument("--metrics-out", default="metrics",
+                            metavar="BASENAME",
+                            help="basename for metrics exports; writes "
+                                 "BASENAME.csv, .prom and .json "
+                                 "(default metrics)")
     run_parser.add_argument("--trace-out", default="trace.json",
                             metavar="PATH",
                             help="Chrome-trace JSON output path "

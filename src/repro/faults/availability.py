@@ -3,15 +3,20 @@
 The paper reports scalar throughput over a fault-free measurement
 window; an availability experiment needs the *time series* instead —
 how many operations completed and how many failed in each small window,
-so a fault's impact and the recovery afterwards are visible.  The
-timeline buckets completed operations into fixed-width windows of
-simulated time; rendering is fully deterministic (the determinism test
-asserts byte-identical output for a fixed seed).
+so a fault's impact and the recovery afterwards are visible.
+
+The timeline is a thin domain view over the repo's shared
+:class:`~repro.metrics.timeseries.WindowedSeries` (channels ``ops`` and
+``errors``), so chaos runs and metrics runs use one windowed-series
+representation and one CSV exporter.  Rendering is fully deterministic
+(the determinism test asserts byte-identical output for a fixed seed).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.metrics.timeseries import WindowedSeries
 
 __all__ = ["AvailabilityWindow", "AvailabilityTimeline"]
 
@@ -52,32 +57,30 @@ class AvailabilityTimeline:
     """Fixed-width windowed counts of completed operations and errors."""
 
     def __init__(self, window_s: float = 0.25):
-        if window_s <= 0:
-            raise ValueError(f"window_s must be > 0, got {window_s}")
-        self.window_s = window_s
-        self._ops: dict[int, int] = {}
-        self._errors: dict[int, int] = {}
+        #: The shared windowed-series representation underneath.
+        self.series = WindowedSeries(window_s)
+
+    @property
+    def window_s(self) -> float:
+        """Window width in simulated seconds."""
+        return self.series.window_s
 
     def record(self, now: float, error: bool) -> None:
         """Count one operation completing at simulated time ``now``."""
-        index = int(now / self.window_s)
-        self._ops[index] = self._ops.get(index, 0) + 1
+        self.series.add(now, "ops", 1.0)
         if error:
-            self._errors[index] = self._errors.get(index, 0) + 1
+            self.series.add(now, "errors", 1.0)
 
     def windows(self) -> list[AvailabilityWindow]:
         """The contiguous series from t=0 through the last active window."""
-        if not self._ops:
-            return []
-        last = max(self._ops)
         return [
             AvailabilityWindow(
-                start=index * self.window_s,
-                end=(index + 1) * self.window_s,
-                ops=self._ops.get(index, 0),
-                errors=self._errors.get(index, 0),
+                start=w.start,
+                end=w.end,
+                ops=int(w.get("ops")),
+                errors=int(w.get("errors")),
             )
-            for index in range(last + 1)
+            for w in self.series.windows()
         ]
 
     # -- aggregates over a sub-interval ---------------------------------------
@@ -119,6 +122,10 @@ class AvailabilityTimeline:
             for w in self.windows()
         ]
         return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The shared ``start,end,channel,value`` CSV of the series."""
+        return self.series.to_csv()
 
     def render(self, fault_windows: list[tuple[float, float]] | None = None,
                width: int = 40) -> str:

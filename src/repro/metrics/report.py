@@ -1,0 +1,64 @@
+"""The bundle a metrics-enabled run hands back to its caller.
+
+A :class:`MetricsReport` groups everything the telemetry layer produced
+for one benchmark: the registry (final counter values), the sampled
+timeseries, the saturation report, and the sustained-throughput
+verdict — plus the render/export helpers the CLI uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.saturation import SaturationReport
+from repro.metrics.sustained import SustainedVerdict
+from repro.metrics.timeseries import WindowedSeries
+
+__all__ = ["MetricsReport"]
+
+
+@dataclass
+class MetricsReport:
+    """Everything the metrics layer collected for one run."""
+
+    registry: MetricsRegistry
+    series: WindowedSeries
+    saturation: Optional[SaturationReport]
+    sustained: Optional[SustainedVerdict]
+
+    @property
+    def bottleneck(self) -> Optional[str]:
+        """The named binding resource (None when analysis was skipped)."""
+        return self.saturation.bottleneck if self.saturation else None
+
+    def render(self) -> str:
+        """Utilisation table + bottleneck verdict + sustainability check."""
+        parts = []
+        if self.saturation is not None:
+            parts.append(self.saturation.render())
+        if self.sustained is not None:
+            parts.append(self.sustained.render())
+        if not parts:
+            parts.append("(no metrics analysis available)")
+        return "\n\n".join(parts)
+
+    def to_csv(self) -> str:
+        """The sampled timeseries in the shared CSV layout."""
+        return self.series.to_csv()
+
+    def to_prometheus(self) -> str:
+        """The final registry snapshot in Prometheus text format."""
+        from repro.analysis.prometheus import registry_to_prometheus
+        return registry_to_prometheus(self.registry)
+
+    def to_payload(self) -> dict:
+        """A JSON-ready dict: series + analyses (no wall-clock data)."""
+        return {
+            "series": self.series.to_payload(),
+            "saturation": (self.saturation.to_payload()
+                           if self.saturation else None),
+            "sustained": (self.sustained.to_payload()
+                          if self.sustained else None),
+        }

@@ -79,6 +79,10 @@ class Network:
         """The egress NIC resource for diagnostics."""
         return self._egress[node_name]
 
+    def ingress_queue(self, node_name: str) -> Resource:
+        """The ingress NIC resource for diagnostics."""
+        return self._ingress[node_name]
+
     # -- fault state ---------------------------------------------------------
 
     def set_host_down(self, node_name: str) -> None:

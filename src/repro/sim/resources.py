@@ -87,6 +87,26 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._queue)
 
+    def busy_seconds(self) -> float:
+        """Cumulative time at least one slot was busy, current to now.
+
+        Flushes the time-integral accounting first, so pull-based metrics
+        probes read an exact value mid-run rather than one that is stale
+        since the last grant/release.
+        """
+        self._account()
+        return self.stats.busy_time
+
+    def slot_seconds(self) -> float:
+        """Cumulative busy-slot-seconds (the ``in_use`` time integral).
+
+        Dividing a delta of this by ``elapsed * capacity`` yields the mean
+        multi-slot utilisation over that span — the CPU-utilisation figure
+        the saturation analyzer reports.
+        """
+        self._account()
+        return self.stats._area_in_use
+
     def _account(self) -> None:
         now = self.sim.now
         elapsed = now - self.stats._last_change

@@ -302,6 +302,17 @@ class LSMEngine:
     # -- accounting -----------------------------------------------------------
 
     @property
+    def compaction_backlog(self) -> int:
+        """SSTables beyond the size-tiered trigger (0 when none is ripe).
+
+        A metrics probe, not a planner: deliberately does *not* call
+        :meth:`maybe_compact`, which would eagerly merge as a side
+        effect of observation.
+        """
+        return max(0,
+                   len(self.sstables) - self.compaction.min_threshold + 1)
+
+    @property
     def disk_bytes(self) -> int:
         """Current on-disk footprint: SSTables plus commit-log segments."""
         return (sum(t.size_bytes for t in self.sstables)

@@ -192,6 +192,39 @@ class Store:
         self.profile = profile or self.default_profile()
         self.errors = 0
         self.sessions_open = 0
+        #: Per-server op counters; populated by :meth:`attach_metrics`.
+        #: ``None`` is the disabled fast path — op application only pays
+        #: one identity check per server-side op when metrics are off.
+        self._node_ops = None
+
+    # -- metrics ---------------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Register this deployment's telemetry with ``registry``.
+
+        The base registration covers what every store shares: open
+        sessions, accumulated errors, and a per-server operation counter
+        (the saturation analyzer's op-rate column).  Concrete stores
+        extend it with engine-level probes (memtable bytes, SSTable
+        counts, handler queues, replication fan-out).
+        """
+        registry.probe("store_sessions",
+                       lambda: float(self.sessions_open), store=self.name)
+        registry.meter("store_errors_total",
+                       lambda: float(self.errors), store=self.name)
+        self._node_ops = [
+            registry.counter("store_node_ops", node=node.name,
+                             store=self.name)
+            for node in self.cluster.servers
+        ]
+
+    def note_node_op(self, node_index: int) -> None:
+        """Count one server-side op on server ``node_index``.
+
+        No-op (one ``is None`` check) when metrics are disabled.
+        """
+        if self._node_ops is not None:
+            self._node_ops[node_index].inc()
 
     # -- hooks a concrete store implements ---------------------------------
 

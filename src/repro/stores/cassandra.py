@@ -95,6 +95,22 @@ class CassandraStore(Store):
         self.hints: dict[int, list[tuple[str, dict]]] = {}
         self.hints_queued = 0
         self.hints_replayed = 0
+        #: Replica fan-out counter; set by :meth:`attach_metrics`.
+        self._fanout = None
+
+    def attach_metrics(self, registry) -> None:
+        """Add LSM engine probes, hint meters and the fan-out counter."""
+        super().attach_metrics(registry)
+        from repro.metrics.instrument import register_lsm_engine
+        for i, engine in enumerate(self.engines):
+            register_lsm_engine(registry, engine, store=self.name,
+                                node=self.cluster.servers[i].name)
+        registry.meter("cassandra_hints_queued_total",
+                       lambda: self.hints_queued, store=self.name)
+        registry.meter("cassandra_hints_replayed_total",
+                       lambda: self.hints_replayed, store=self.name)
+        self._fanout = registry.counter("store_replica_fanout_total",
+                                        store=self.name)
 
     #: CPU per operation spent in the (de)compression codec when SSTable
     #: compression is enabled.
@@ -224,6 +240,7 @@ class CassandraStore(Store):
 
     def _apply_write(self, owner: int, key: str,
                      fields: Mapping[str, str]):
+        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         write_cpu = self.profile.write_cpu
         if self.compression_ratio < 1.0:
@@ -252,6 +269,7 @@ class CassandraStore(Store):
         return True
 
     def _apply_read(self, owner: int, key: str):
+        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         read_cpu = self.profile.read_cpu
         if self.compression_ratio < 1.0:
@@ -262,6 +280,7 @@ class CassandraStore(Store):
         return result.fields
 
     def _apply_scan(self, owner: int, start_key: str, count: int):
+        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.server_cost(
             self.profile.scan_base_cpu
@@ -383,6 +402,8 @@ class CassandraSession(StoreSession):
             for replica in replicas:
                 if replica not in live:
                     store.queue_hint(replica, key, fields)
+            if store._fanout is not None:
+                store._fanout.inc(len(live))
             acks = []
             for replica in live:
                 if replica == coordinator:
@@ -429,6 +450,7 @@ class CassandraSession(StoreSession):
         owner = store.live_replica_of(key)
 
         def handler():
+            store.note_node_op(owner)
             node = store.cluster.servers[owner]
             yield from node.cpu(store.profile.write_cpu)
             store.engines[owner].delete(key)

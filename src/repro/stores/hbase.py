@@ -117,6 +117,50 @@ class HBaseStore(Store):
             self._hfile_paths[region_id] = path
             self.hdfs.create(path)
 
+    def attach_metrics(self, registry) -> None:
+        """Add handler-queue gauges and per-server region aggregates.
+
+        Engine quantities aggregate over each server's *current* region
+        set, so probes stay correct across master reassignments.
+        """
+        super().attach_metrics(registry)
+        for server in self.region_servers:
+            labels = {"store": self.name, "node": server.node.name}
+            registry.probe(
+                "hbase_handler_queue",
+                lambda s=server: s.handlers.queue_length, **labels)
+            registry.meter(
+                "store_executor_slot_seconds",
+                server.handlers.slot_seconds, **labels)
+            registry.probe(
+                "store_executor_slots",
+                lambda s=server: float(s.handlers.capacity), **labels)
+            registry.probe(
+                "hbase_regions",
+                lambda s=server: len(s.regions), **labels)
+            registry.probe(
+                "lsm_memtable_bytes",
+                lambda s=server: sum(e.memtable.size_bytes
+                                     for e in s.regions.values()), **labels)
+            registry.probe(
+                "lsm_sstables",
+                lambda s=server: sum(len(e.sstables)
+                                     for e in s.regions.values()), **labels)
+            registry.probe(
+                "lsm_compaction_backlog",
+                lambda s=server: sum(e.compaction_backlog
+                                     for e in s.regions.values()), **labels)
+            registry.meter(
+                "lsm_wal_syncs_total",
+                lambda s=server: sum(e.commit_log.syncs
+                                     for e in s.regions.values()), **labels)
+            registry.meter(
+                "lsm_flushes_total",
+                lambda s=server: sum(e.flushes
+                                     for e in s.regions.values()), **labels)
+        registry.meter("hbase_regions_reassigned_total",
+                       lambda: self.regions_reassigned, store=self.name)
+
     @classmethod
     def default_profile(cls) -> ServiceProfile:
         return ServiceProfile(
@@ -287,6 +331,7 @@ class HBaseStore(Store):
 
     def _serve_read(self, region_id: int, key: str):
         server = self.server_of_region(region_id)
+        self.note_node_op(server.index)
         yield from server.node.cpu(self.profile.read_cpu)
         result = self.engine_of(region_id).get(key)
         path = self._hfile_paths[region_id]
@@ -297,6 +342,7 @@ class HBaseStore(Store):
     def _serve_multi_put(self, server: RegionServer,
                          puts: list[tuple[str, Mapping[str, str]]]):
         for key, fields in puts:
+            self.note_node_op(server.index)
             yield from server.node.cpu(self.profile.write_cpu)
             region_id = self.region_of(key)
             bill = server.regions[region_id].put(key, dict(fields))
@@ -305,6 +351,7 @@ class HBaseStore(Store):
 
     def _serve_scan(self, region_id: int, start_key: str, count: int):
         server = self.server_of_region(region_id)
+        self.note_node_op(server.index)
         yield from server.node.cpu(
             self.profile.scan_base_cpu
             + count * self.profile.scan_per_record_cpu

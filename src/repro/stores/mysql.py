@@ -73,6 +73,18 @@ class MySQLStore(Store):
         self._versions_created = [0.0 for __ in range(n)]
         self._purged_until = [0.0 for __ in range(n)]
 
+    def attach_metrics(self, registry) -> None:
+        """Add binlog volume, MVCC purge backlog and table size probes."""
+        super().attach_metrics(registry)
+        for i, node in enumerate(self.cluster.servers):
+            labels = {"store": self.name, "node": node.name}
+            registry.meter("mysql_binlog_bytes",
+                           lambda i=i: self.binlog_bytes[i], **labels)
+            registry.probe("mysql_purge_backlog",
+                           lambda i=i: self._version_backlog(i), **labels)
+            registry.probe("mysql_table_rows",
+                           lambda t=self.tables[i]: len(t), **labels)
+
     @classmethod
     def default_profile(cls) -> ServiceProfile:
         return ServiceProfile(
@@ -146,6 +158,7 @@ class MySQLStore(Store):
         return ("innodb", shard, page_id)
 
     def _apply_read(self, shard: int, key: str):
+        self.note_node_op(shard)
         node = self.cluster.servers[shard]
         yield from node.cpu(self.server_cost(self.profile.read_cpu))
         value, path = self.tables[shard].get(key)
@@ -155,6 +168,7 @@ class MySQLStore(Store):
         return dict(value) if value is not None else None
 
     def _apply_write(self, shard: int, key: str, fields: Mapping[str, str]):
+        self.note_node_op(shard)
         node = self.cluster.servers[shard]
         yield from node.cpu(self.server_cost(self.profile.write_cpu))
         table = self.tables[shard]
@@ -182,6 +196,7 @@ class MySQLStore(Store):
         Pays the MVCC purge-lag penalty: the consistent read must skip the
         shard's unpurged version backlog inside the scanned range.
         """
+        self.note_node_op(shard)
         node = self.cluster.servers[shard]
         backlog = self._version_backlog(shard)
         mvcc_cpu = backlog * self.MVCC_VERSION_CPU
@@ -200,6 +215,7 @@ class MySQLStore(Store):
 
     def _apply_tail_scan(self, shard: int, start_key: str, count: int):
         """Sharded scan leg: stream the shard's whole tail (no LIMIT)."""
+        self.note_node_op(shard)
         node = self.cluster.servers[shard]
         tail_rows = int(len(self.tables[shard])
                         * (1.0 - key_position(start_key)))
@@ -302,6 +318,7 @@ class MySQLSession(StoreSession):
         shard = store.shard_of(key)
 
         def handler():
+            store.note_node_op(shard)
             node = store.cluster.servers[shard]
             yield from node.cpu(store.profile.write_cpu)
             removed, __ = store.tables[shard].remove(key)

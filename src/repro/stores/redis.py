@@ -70,6 +70,28 @@ class RedisStore(Store):
             for node in cluster.servers
         ]
 
+    def attach_metrics(self, registry) -> None:
+        """Add event-loop saturation gauges and shard memory probes.
+
+        The single-threaded loop is Redis's serialisation point, so its
+        busy time — not the node's multi-core CPU — is the store-level
+        saturation signal.
+        """
+        super().attach_metrics(registry)
+        for i, node in enumerate(self.cluster.servers):
+            labels = {"store": self.name, "node": node.name}
+            registry.meter("redis_loop_busy_seconds",
+                           self.event_loops[i].busy_seconds, **labels)
+            registry.meter("store_executor_slot_seconds",
+                           self.event_loops[i].slot_seconds, **labels)
+            registry.probe("store_executor_slots", lambda: 1.0, **labels)
+            registry.probe("redis_loop_queue",
+                           lambda r=self.event_loops[i]: r.queue_length,
+                           **labels)
+            registry.probe("redis_used_memory_bytes",
+                           lambda s=self.shards[i]: s.used_memory_bytes,
+                           **labels)
+
     @classmethod
     def default_profile(cls) -> ServiceProfile:
         return ServiceProfile(
@@ -124,6 +146,7 @@ class RedisStore(Store):
         under tracing the hold emits a span with a ``wait`` child for
         time spent queued behind other commands.
         """
+        self.note_node_op(shard_index)
         node = self.cluster.servers[shard_index]
         loop = self.event_loops[shard_index]
         sim = self.sim

@@ -63,6 +63,16 @@ class VoldemortStore(Store):
                       {f: "v" * self.schema.field_length
                        for f in self.schema.field_names})
 
+    def attach_metrics(self, registry) -> None:
+        """Add BDB-JE log-volume meters and per-node tree size probes."""
+        super().attach_metrics(registry)
+        for i, node in enumerate(self.cluster.servers):
+            labels = {"store": self.name, "node": node.name}
+            registry.meter("voldemort_log_bytes",
+                           lambda i=i: self.log_bytes[i], **labels)
+            registry.probe("voldemort_tree_records",
+                           lambda t=self.trees[i]: len(t), **labels)
+
     @classmethod
     def default_profile(cls) -> ServiceProfile:
         return ServiceProfile(
@@ -120,6 +130,7 @@ class VoldemortStore(Store):
         return ("bdb", owner, page_id)
 
     def _apply_read(self, owner: int, key: str):
+        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.read_cpu)
         value, path = self.trees[owner].get(key)
@@ -130,6 +141,7 @@ class VoldemortStore(Store):
         return dict(value) if value is not None else None
 
     def _apply_write(self, owner: int, key: str, fields: Mapping[str, str]):
+        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.write_cpu)
         tree = self.trees[owner]
@@ -154,6 +166,7 @@ class VoldemortStore(Store):
         return True
 
     def _apply_delete(self, owner: int, key: str):
+        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.write_cpu)
         was_present, path = self.trees[owner].remove(key)

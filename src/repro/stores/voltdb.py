@@ -68,6 +68,42 @@ class VoltDBStore(Store):
         self.sequencer = Resource(cluster.sim, 1, "voltdb-sequencer",
                                   component="store")
 
+    def attach_metrics(self, registry) -> None:
+        """Add sequencer and per-host site-executor saturation gauges.
+
+        VoltDB's choke points are its serial executors: the global
+        transaction sequencer and each host's partition sites, so their
+        queue depths and busy time are the store-level signal.
+        """
+        super().attach_metrics(registry)
+        registry.probe("voltdb_sequencer_queue",
+                       lambda: self.sequencer.queue_length, store=self.name)
+        registry.meter("voltdb_sequencer_busy_seconds",
+                       self.sequencer.busy_seconds, store=self.name)
+        for i, node in enumerate(self.cluster.servers):
+            labels = {"store": self.name, "node": node.name}
+            sites = [self.sites[p] for p in range(self.n_partitions)
+                     if self.node_of_partition(p) == i]
+            registry.probe(
+                "voltdb_site_queue",
+                lambda group=sites: sum(s.in_use + s.queue_length
+                                        for s in group), **labels)
+            registry.meter(
+                "voltdb_site_busy_seconds",
+                lambda group=sites: sum(s.busy_seconds() for s in group),
+                **labels)
+            registry.meter(
+                "store_executor_slot_seconds",
+                lambda group=sites: sum(s.slot_seconds() for s in group),
+                **labels)
+            registry.probe("store_executor_slots",
+                           lambda n=len(sites): float(n), **labels)
+            parts = [self.partitions[p] for p in range(self.n_partitions)
+                     if self.node_of_partition(p) == i]
+            registry.probe(
+                "voltdb_partition_rows",
+                lambda group=parts: sum(len(p) for p in group), **labels)
+
     @classmethod
     def default_profile(cls) -> ServiceProfile:
         return ServiceProfile(
@@ -120,7 +156,9 @@ class VoltDBStore(Store):
         Under tracing the site hold is a span with a ``wait`` child for
         time spent queued behind the partition's serial executor.
         """
-        node = self.cluster.servers[self.node_of_partition(partition)]
+        owner = self.node_of_partition(partition)
+        self.note_node_op(owner)
+        node = self.cluster.servers[owner]
         site = self.sites[partition]
         sim = self.sim
         traced = sim.tracer is not None and sim.context is not None

@@ -90,6 +90,13 @@ class BenchmarkConfig:
     trace_sample_every: Optional[int] = None
     #: Cap on retained traces (oldest kept; later samples only counted).
     trace_max_traces: int = 2000
+    #: Sampling interval of the metrics timeseries, in simulated seconds
+    #: (``None`` = metrics off; the zero-cost fast path).
+    metrics_interval_s: Optional[float] = None
+    #: Sub-windows the sustained-throughput check splits the window into.
+    sustained_subwindows: int = 4
+    #: Max (peak - floor) / peak degradation still counted as sustained.
+    sustained_tolerance: float = 0.25
 
     def __post_init__(self):
         if self.n_nodes < 1:
@@ -103,6 +110,12 @@ class BenchmarkConfig:
         if (self.trace_sample_every is not None
                 and self.trace_sample_every < 1):
             raise ValueError("trace_sample_every must be >= 1")
+        if self.metrics_interval_s is not None and self.metrics_interval_s <= 0:
+            raise ValueError("metrics_interval_s must be positive")
+        if self.sustained_subwindows < 2:
+            raise ValueError("sustained_subwindows must be >= 2")
+        if not 0.0 <= self.sustained_tolerance <= 1.0:
+            raise ValueError("sustained_tolerance must be in [0, 1]")
 
 
 @dataclass
@@ -118,6 +131,8 @@ class BenchmarkResult:
     fault_log: list = field(default_factory=list)
     #: Sampled span traces (empty unless ``trace_sample_every`` was set).
     traces: list = field(default_factory=list)
+    #: Telemetry bundle (``None`` unless ``metrics_interval_s`` was set).
+    metrics: Optional["MetricsReport"] = None
 
     @property
     def breakdown(self):
@@ -211,8 +226,14 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
 
     sequence = KeySequence(total_records)
     stats = RunStats()
-    if config.fault_schedule is not None or config.duration_s is not None:
-        stats.timeline = AvailabilityTimeline(config.availability_window_s)
+    if (config.fault_schedule is not None or config.duration_s is not None
+            or config.metrics_interval_s is not None):
+        window_s = config.availability_window_s
+        if config.metrics_interval_s is not None:
+            # The sustained check splits the measurement window into
+            # sub-windows; the op timeline must resolve finer than those.
+            window_s = min(window_s, config.metrics_interval_s)
+        stats.timeline = AvailabilityTimeline(window_s)
     n_connections = deployed.connections(spec.connections_per_node)
     if config.duration_s is not None:
         # Time-bounded run: the clock, not an op count, ends measurement.
@@ -238,6 +259,15 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         tracer = Tracer(cluster.sim,
                         sample_every=config.trace_sample_every,
                         max_traces=config.trace_max_traces)
+    registry = sampler = None
+    if config.metrics_interval_s is not None:
+        from repro.metrics import (MetricsRegistry, MetricsSampler,
+                                   instrument_cluster)
+        registry = MetricsRegistry(cluster.sim)
+        instrument_cluster(registry, cluster)
+        deployed.attach_metrics(registry)
+        sampler = MetricsSampler(registry, config.metrics_interval_s)
+        sampler.start()
     from repro.sim.rng import RngRegistry
     rngs = RngRegistry(config.seed)
     threads = []
@@ -265,6 +295,24 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         if stats.finished_at == 0.0:
             stats.finished_at = cluster.sim.now
 
+    metrics = None
+    if sampler is not None:
+        from repro.metrics import (MetricsReport, analyze_saturation,
+                                   verify_sustained)
+        sampler.close()
+        t0, t1 = stats.started_at, stats.finished_at
+        saturation = sustained = None
+        if t1 > t0:
+            saturation = analyze_saturation(sampler.series, cluster, t0, t1,
+                                            store_name=deployed.name)
+            if stats.timeline is not None:
+                sustained = verify_sustained(
+                    stats.timeline, t0, t1,
+                    subwindows=config.sustained_subwindows,
+                    tolerance=config.sustained_tolerance)
+        metrics = MetricsReport(registry=registry, series=sampler.series,
+                                saturation=saturation, sustained=sustained)
+
     return BenchmarkResult(
         config=config,
         stats=stats,
@@ -273,4 +321,5 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         disk_bytes_per_server=deployed.disk_bytes_per_server(),
         fault_log=list(chaos.log) if chaos is not None else [],
         traces=list(tracer.traces) if tracer is not None else [],
+        metrics=metrics,
     )

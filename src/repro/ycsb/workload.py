@@ -16,7 +16,7 @@ reads fetch all fields (Section 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.stores.base import OpType
 

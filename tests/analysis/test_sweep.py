@@ -1,7 +1,5 @@
 """Unit tests for the sweep API."""
 
-import pytest
-
 from repro.analysis.cache import ResultCache
 from repro.analysis.sweep import SweepSpec, run_sweep
 from repro.ycsb.workload import WORKLOAD_R, WORKLOAD_RS, WORKLOAD_W

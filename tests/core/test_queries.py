@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.agents import AgentFleet
-from repro.core.metrics import Measurement, MetricId
+from repro.core.metrics import MetricId
 from repro.core.queries import MonitoringQueries
 from repro.sim.cluster import CLUSTER_M, Cluster
 from repro.stores.registry import create_store

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.storage.encoding import redis_memory_per_record
 from repro.sim.cluster import CLUSTER_M, Cluster
 from repro.stores.registry import create_store
 from repro.ycsb.runner import run_benchmark

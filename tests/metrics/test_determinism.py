@@ -1,0 +1,25 @@
+"""Two same-seed metrics runs must be byte-identical everywhere."""
+
+from repro.sim.cluster import CLUSTER_M
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import Workload
+
+WORKLOAD = Workload(name="R", read_proportion=0.95,
+                    insert_proportion=0.05)
+
+
+def run_once():
+    return run_benchmark(
+        "redis", WORKLOAD, 2, cluster_spec=CLUSTER_M,
+        records_per_node=500, measured_ops=800, warmup_ops=100,
+        seed=7, metrics_interval_s=0.05,
+    )
+
+
+def test_metrics_output_is_byte_deterministic():
+    first = run_once().metrics
+    second = run_once().metrics
+    assert first.to_csv() == second.to_csv()
+    assert first.to_prometheus() == second.to_prometheus()
+    assert first.render() == second.render()
+    assert first.to_payload() == second.to_payload()

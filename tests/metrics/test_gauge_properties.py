@@ -1,0 +1,95 @@
+"""Hypothesis properties of time-weighted gauge averaging.
+
+The gauge's integral is an exact piecewise-constant integral, which
+implies two invariants the saturation math silently relies on:
+
+* **split/merge invariance** — integral over [t0, t2] equals the sum of
+  the integrals over [t0, t1] and [t1, t2] for any interior t1;
+* **window additivity** — the average over a window is the duration-
+  weighted mean of the averages over any partition of it.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.registry import TimeWeightedGauge
+
+
+def make_gauge(transitions, initial=0.0):
+    """A gauge with a controllable clock fed the given transitions."""
+    clock = {"now": 0.0}
+    gauge = TimeWeightedGauge("g", {}, lambda: clock["now"],
+                              initial=initial)
+    for when, value in transitions:
+        clock["now"] = when
+        gauge.set(value)
+    return gauge
+
+
+values = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+times = st.floats(min_value=0.0, max_value=1e3,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def gauge_histories(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    when = sorted(draw(st.lists(times, min_size=n, max_size=n)))
+    return [(t, draw(values)) for t in when]
+
+
+@st.composite
+def split_points(draw):
+    """(history, t0 < t1 < t2) with the split inside the interval."""
+    history = draw(gauge_histories())
+    t0, t1, t2 = sorted(draw(st.tuples(times, times, times)))
+    return history, t0, t1, t2
+
+
+@given(split_points())
+@settings(max_examples=200)
+def test_split_merge_invariance(case):
+    history, t0, t1, t2 = case
+    gauge = make_gauge(history, initial=1.5)
+    whole = gauge.integral(t0, t2)
+    parts = gauge.integral(t0, t1) + gauge.integral(t1, t2)
+    assert whole == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+
+@given(gauge_histories(),
+       st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+       st.floats(min_value=1e-3, max_value=500.0, allow_nan=False),
+       st.integers(min_value=2, max_value=8))
+@settings(max_examples=200)
+def test_window_additivity(history, t0, span, pieces):
+    """avg over [t0, t1] == duration-weighted mean of partition avgs."""
+    gauge = make_gauge(history, initial=-2.0)
+    t1 = t0 + span
+    edges = [t0 + span * k / pieces for k in range(pieces + 1)]
+    weighted = sum(
+        gauge.average(a, b) * (b - a)
+        for a, b in zip(edges, edges[1:])
+    )
+    assert gauge.average(t0, t1) * span == pytest.approx(
+        weighted, rel=1e-9, abs=1e-6)
+
+
+@given(gauge_histories(), times, times)
+@settings(max_examples=200)
+def test_integral_of_empty_interval_is_zero(history, a, b):
+    gauge = make_gauge(history)
+    t0, t1 = sorted((a, b))
+    assert gauge.integral(t1, t0) == 0.0  # reversed interval
+    assert gauge.integral(t0, t0) == 0.0
+
+
+@given(gauge_histories(), times, times, values)
+@settings(max_examples=200)
+def test_constant_gauge_average_is_the_constant(history, a, b, level):
+    gauge = make_gauge([], initial=level)
+    t0, t1 = sorted((a, b))
+    # Sub-nanosecond spans lose the constant to float rounding.
+    if t1 - t0 > 1e-9:
+        assert gauge.average(t0, t1) == pytest.approx(level)

@@ -1,0 +1,128 @@
+"""Saturation-analyzer tests: unit math plus the Cluster M/D contrast."""
+
+import pytest
+
+from repro.metrics import WindowedSeries, analyze_saturation, node_channel
+from repro.sim.cluster import CLUSTER_D, CLUSTER_M, Cluster
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import Workload
+
+
+def build_series(cluster, per_window):
+    """A hand-written sampler series: one dict of channel deltas/window."""
+    series = WindowedSeries(1.0)
+    for index, values in enumerate(per_window):
+        for channel, value in values.items():
+            series.add_at(index, channel, value)
+    return series
+
+
+def two_server_cluster():
+    return Cluster(CLUSTER_M, 2, n_clients=1)
+
+
+class TestAnalyzeSaturation:
+    def test_names_the_highest_mean_utilisation(self):
+        cluster = two_server_cluster()
+        cores = CLUSTER_M.node.cores
+        channels = {}
+        for node in cluster.servers:
+            name, role = node.name, node.role
+            # CPU at 90% of all cores, disk at 20% busy, NIC idle.
+            channels[node_channel("node_cpu_slot_seconds", name,
+                                  role)] = 0.9 * cores
+            channels[node_channel("node_disk_busy_seconds", name,
+                                  role)] = 0.2
+        series = build_series(cluster, [channels, channels])
+        report = analyze_saturation(series, cluster, 0.0, 2.0)
+        assert report.bottleneck == "cpu"
+        assert report.resource("cpu").mean == pytest.approx(0.9)
+        assert report.resource("disk").mean == pytest.approx(0.2)
+        assert report.saturated
+        assert "cpu" in report.verdict
+
+    def test_disk_bound_with_cold_cache_names_cluster_d_pattern(self):
+        cluster = two_server_cluster()
+        channels = {}
+        for node in cluster.servers:
+            name, role = node.name, node.role
+            channels[node_channel("node_disk_busy_seconds", name,
+                                  role)] = 0.95
+            channels[node_channel("node_cache_hits", name, role)] = 10.0
+            channels[node_channel("node_cache_misses", name, role)] = 90.0
+        series = build_series(cluster, [channels])
+        report = analyze_saturation(series, cluster, 0.0, 1.0)
+        assert report.bottleneck == "disk"
+        assert "Cluster D" in report.verdict
+        assert report.nodes[0].cache_hit_rate == pytest.approx(0.1)
+
+    def test_low_utilisation_names_nothing_saturated(self):
+        cluster = two_server_cluster()
+        channels = {}
+        for node in cluster.servers:
+            channels[node_channel("node_disk_busy_seconds", node.name,
+                                  node.role)] = 0.05
+        series = build_series(cluster, [channels])
+        report = analyze_saturation(series, cluster, 0.0, 1.0)
+        assert not report.saturated
+        assert "nothing saturated" in report.verdict
+
+    def test_executor_channels_add_a_fourth_resource(self):
+        cluster = two_server_cluster()
+        channels = {}
+        for node in cluster.servers:
+            channels[f'store_executor_slot_seconds{{node="{node.name}"'
+                     f',store="redis"}}'] = 0.97
+        series = build_series(cluster, [channels])
+        for node in cluster.servers:
+            series.put_at(0, f'store_executor_slots{{node="{node.name}"'
+                             f',store="redis"}}', 1.0)
+        report = analyze_saturation(series, cluster, 0.0, 1.0,
+                                    store_name="redis")
+        assert report.bottleneck == "executor"
+        assert report.resource("executor").mean == pytest.approx(0.97)
+        assert "store-bound" in report.verdict
+
+    def test_empty_window_raises(self):
+        cluster = two_server_cluster()
+        with pytest.raises(ValueError):
+            analyze_saturation(WindowedSeries(1.0), cluster, 1.0, 1.0)
+
+    def test_render_has_one_row_per_server(self):
+        cluster = two_server_cluster()
+        series = build_series(cluster, [{}])
+        report = analyze_saturation(series, cluster, 0.0, 1.0)
+        lines = report.render().splitlines()
+        assert len(lines) == 2 + len(cluster.servers) + 1
+        payload = report.to_payload()
+        assert payload["bottleneck"] == report.bottleneck
+        assert len(payload["nodes"]) == 2
+
+
+WORKLOAD_R = Workload(name="R", read_proportion=0.95,
+                      insert_proportion=0.05)
+
+
+def run_with_metrics(spec):
+    return run_benchmark(
+        "cassandra", WORKLOAD_R, 2, cluster_spec=spec,
+        records_per_node=3000, measured_ops=2000, warmup_ops=300,
+        seed=11, metrics_interval_s=0.02,
+    )
+
+
+class TestClusterContrast:
+    """The paper's regime check: Cluster D is disk-bound, M is not."""
+
+    def test_disk_starved_config_names_disk(self):
+        report = run_with_metrics(CLUSTER_D).metrics.saturation
+        assert report.bottleneck == "disk"
+        assert report.saturated
+        # The working set spills: the page cache misses a lot.
+        assert all(n.cache_hit_rate < 0.9 for n in report.nodes)
+
+    def test_memory_rich_config_does_not_name_disk(self):
+        report = run_with_metrics(CLUSTER_M).metrics.saturation
+        assert report.bottleneck != "disk"
+        assert report.resource("disk").mean < 0.5
+        assert all(n.cache_hit_rate > 0.9 for n in report.nodes)

@@ -1,0 +1,93 @@
+"""Tests for the shared windowed-series representation."""
+
+import pytest
+
+from repro.metrics.timeseries import WindowedSeries
+
+
+def test_add_accumulates_and_put_samples():
+    series = WindowedSeries(1.0)
+    series.add(0.2, "ops", 1.0)
+    series.add(0.7, "ops", 2.0)
+    series.put(0.2, "depth", 5.0)
+    series.put(0.7, "depth", 9.0)
+    window = series.window_at(0)
+    assert window.get("ops") == 3.0       # adds sum
+    assert window.get("depth") == 9.0     # puts keep the latest
+
+
+def test_windows_include_idle_gaps():
+    series = WindowedSeries(1.0)
+    series.add(0.5, "ops", 1.0)
+    series.add(3.5, "ops", 1.0)
+    windows = series.windows()
+    assert [w.start for w in windows] == [0.0, 1.0, 2.0, 3.0]
+    assert windows[1].values == {}
+    assert windows[1].duration == 1.0
+
+
+def test_empty_series():
+    series = WindowedSeries(1.0)
+    assert series.windows() == []
+    assert series.last_index() is None
+    assert series.to_csv() == "start,end,channel,value\n"
+
+
+def test_window_width_validation():
+    with pytest.raises(ValueError):
+        WindowedSeries(0.0)
+
+
+def test_sum_between_weights_partial_overlap():
+    series = WindowedSeries(1.0)
+    series.add(0.5, "ops", 10.0)
+    series.add(1.5, "ops", 20.0)
+    # [0.5, 1.5] covers half of each window.
+    assert series.sum_between("ops", 0.5, 1.5) == pytest.approx(15.0)
+    assert series.sum_between("ops", 0.0, 2.0) == pytest.approx(30.0)
+    assert series.sum_between("ops", 2.0, 1.0) == 0.0
+    assert series.rate_between("ops", 0.0, 2.0) == pytest.approx(15.0)
+
+
+def test_mean_between_ignores_unsampled_windows():
+    series = WindowedSeries(1.0)
+    series.put(0.5, "depth", 4.0)
+    series.put(2.5, "depth", 8.0)   # window [1, 2) never sampled
+    assert series.mean_between("depth", 0.0, 3.0) == pytest.approx(6.0)
+    assert series.mean_between("depth", 5.0, 6.0) == 0.0
+
+
+def test_csv_is_canonical_and_deterministic():
+    def build():
+        series = WindowedSeries(0.5)
+        series.add(0.1, "b", 2.0)
+        series.put(0.1, "a", 1.5)
+        series.add(0.6, "b", 1.0)
+        return series
+
+    csv_text = build().to_csv()
+    lines = csv_text.splitlines()
+    assert lines[0] == "start,end,channel,value"
+    # Rows ordered by (window, channel name).
+    assert lines[1] == "0.000000,0.500000,a,1.5"
+    assert lines[2] == "0.000000,0.500000,b,2.0"
+    assert lines[3] == "0.500000,1.000000,b,1.0"
+    assert build().to_csv() == csv_text
+
+
+def test_csv_channel_selection():
+    series = WindowedSeries(1.0)
+    series.add(0.1, "keep", 1.0)
+    series.add(0.1, "drop", 1.0)
+    text = series.to_csv(channels=["keep"])
+    assert "drop" not in text
+    assert "keep" in text
+
+
+def test_payload_mirrors_windows():
+    series = WindowedSeries(0.25)
+    series.add(0.1, "ops", 2.0)
+    payload = series.to_payload()
+    assert payload["window_s"] == 0.25
+    assert payload["channels"] == ["ops"]
+    assert payload["windows"][0]["values"] == {"ops": 2.0}

@@ -5,7 +5,6 @@ import pytest
 from repro.sim.kernel import (
     AllOf,
     AnyOf,
-    Event,
     Simulator,
     SimulationError,
     Timeout,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.cluster import CLUSTER_M, Cluster
-from repro.stores.base import OpType, ServiceProfile, Store
+from repro.stores.base import OpType, ServiceProfile
 from repro.stores.registry import (
     STORE_CLASSES,
     STORE_NAMES,

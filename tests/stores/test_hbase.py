@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.keyspace import format_key
-from repro.sim.cluster import CLUSTER_M, Cluster
 from repro.stores.hbase import HBaseStore
 from repro.stores.hdfs import Hdfs, NameNode
 from tests.stores.conftest import make_records, run_op

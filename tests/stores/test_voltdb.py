@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.keyspace import format_key
 from repro.sim.cluster import CLUSTER_M, Cluster
 from repro.stores.voltdb import VoltDBStore
 from tests.stores.conftest import make_records, run_op

@@ -27,6 +27,27 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "-s", "mongodb"])
 
+    def test_run_with_metrics(self, tmp_path, capsys):
+        import json
+
+        base = tmp_path / "out" / "metrics"
+        code = main(["run", "-s", "redis", "-w", "R", "-n", "1",
+                     "--records", "1000", "--ops", "400",
+                     "--metrics", "--metrics-out", str(base)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resource utilisation" in out
+        assert "bottleneck:" in out
+        assert "sustained-throughput check" in out
+        csv_text = base.with_suffix(".csv").read_text()
+        assert csv_text.startswith("start,end,channel,value\n")
+        prom_text = base.with_suffix(".prom").read_text()
+        assert "# TYPE" in prom_text
+        payload = json.loads(base.with_suffix(".json").read_text())
+        assert payload["saturation"]["bottleneck"]
+        assert payload["provenance"]["seed"] == 42
+        assert "config_hash" in payload["provenance"]
+
 
 class TestFigure:
     def test_fig17_renders_and_checks(self, capsys):
