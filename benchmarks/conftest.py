@@ -11,13 +11,20 @@ Profiles (set ``REPRO_BENCH_PROFILE``):
 * ``smoke`` — minutes; 1 and 4 nodes only.
 * ``quick`` (default) — tens of minutes; 1/4/8 nodes.
 * ``paper`` — the full 1-12 node sweep at higher record counts.
+
+The cache is backed by the shared on-disk result store (same one
+``apmbench reproduce`` uses), so points persist across pytest
+invocations: a second run of any figure bench is a pure cache hit.
+Point ``REPRO_RESULT_STORE`` elsewhere to isolate a run.
 """
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.cache import default_cache
+from repro.orchestrator.store import ResultStore
 from repro.analysis.expectations import check_expectations
 from repro.analysis.export import write_figure
 from repro.analysis.figures import active_profile, build_figure
@@ -30,7 +37,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def cache():
-    return default_cache()
+    cache = default_cache()
+    if cache.store is None:
+        root = os.environ.get("REPRO_RESULT_STORE",
+                              str(RESULTS_DIR / "store"))
+        cache.store = ResultStore(root)
+    return cache
 
 
 @pytest.fixture(scope="session")

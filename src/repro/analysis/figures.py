@@ -37,6 +37,7 @@ __all__ = [
     "FIGURES",
     "active_profile",
     "build_figure",
+    "profile_by_name",
 ]
 
 #: Stores that can run scan workloads (the paper omits Voldemort there).
@@ -87,16 +88,19 @@ _PROFILES = {"smoke": SMOKE_PROFILE, "quick": QUICK_PROFILE,
              "paper": PAPER_PROFILE}
 
 
-def active_profile() -> BenchProfile:
-    """Profile selected by ``REPRO_BENCH_PROFILE`` (default: quick)."""
-    name = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+def profile_by_name(name: str) -> BenchProfile:
+    """The named cost/fidelity profile (``smoke``/``quick``/``paper``)."""
     try:
         return _PROFILES[name]
     except KeyError:
         known = ", ".join(sorted(_PROFILES))
         raise ValueError(
-            f"unknown REPRO_BENCH_PROFILE {name!r}; expected one of {known}"
-        )
+            f"unknown profile {name!r}; expected one of {known}")
+
+
+def active_profile() -> BenchProfile:
+    """Profile selected by ``REPRO_BENCH_PROFILE`` (default: quick)."""
+    return profile_by_name(os.environ.get("REPRO_BENCH_PROFILE", "quick"))
 
 
 @dataclass

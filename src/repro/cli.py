@@ -6,6 +6,9 @@ Subcommands::
     apmbench run -s cassandra -w R -n 4
     apmbench chaos -s cassandra -n 4 --crash server-1 --restart-after 2
     apmbench figure fig3 [--chart] [--check]
+    apmbench reproduce --figures all --jobs 8   # every paper artefact
+    apmbench grid --stores redis,mysql --workloads R,RW --nodes 1,2
+    apmbench verify-figures apmbench-results/figures
     apmbench capacity --monitored 240 --throughput-per-node 15000
 
 Everything runs on the simulated substrate; no external services are
@@ -17,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro
 from repro.analysis.expectations import check_expectations
 from repro.analysis.figures import FIGURES, active_profile, build_figure
 from repro.analysis.report import render_figure
@@ -179,6 +183,139 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return status
 
 
+def _make_progress_printer():
+    """A progress callback printing one line per point with a live ETA."""
+    import time
+
+    walls: list[float] = []
+    started = time.perf_counter()
+
+    def progress(done: int, total: int, outcome) -> None:
+        if outcome.cached:
+            print(f"[{done:3d}/{total}] {outcome.config.label():40s} "
+                  "cache hit")
+            return
+        walls.append(outcome.wall_s)
+        elapsed = time.perf_counter() - started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = (total - done) / rate if rate > 0 else 0.0
+        print(f"[{done:3d}/{total}] {outcome.config.label():40s} "
+              f"{outcome.wall_s:6.2f}s   ETA {remaining:5.0f}s")
+
+    return progress
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import profile_by_name
+    from repro.orchestrator import reproduce
+
+    profile = (profile_by_name(args.profile) if args.profile
+               else active_profile())
+    if args.dry_run:
+        report = reproduce(args.figures, profile=profile, store=args.store,
+                           jobs=args.jobs, dry_run=True)
+        print(report.plan.describe())
+        return 0
+    report = reproduce(
+        args.figures, profile=profile, store=args.store,
+        out_dir=args.out, jobs=args.jobs, resume=args.resume,
+        check=args.check, progress=_make_progress_printer(),
+    )
+    print()
+    print(f"figures:   {len(report.figures)} rebuilt "
+          f"({', '.join(report.figures)})")
+    print(f"points:    {report.points_executed} executed, "
+          f"{report.points_cached} cache hits, "
+          f"{report.waves} wave(s)")
+    if report.point_walls:
+        total = sum(report.point_walls.values())
+        slowest = max(report.point_walls.values())
+        print(f"compute:   {total:.1f}s across workers "
+              f"(slowest point {slowest:.1f}s)")
+    print(f"wall:      {report.wall_s:.1f}s with --jobs {args.jobs}")
+    print(f"artefacts: {len(report.written)} files in {report.out_dir}")
+    if args.check:
+        if report.violations:
+            for violation in report.violations:
+                print(f"EXPECTATION FAILED: {violation}")
+            return 1
+        print("checks:    all paper expectations hold")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.provenance import stamp
+    from repro.analysis.sweep import SweepSpec
+    from repro.orchestrator import ResultStore, execute_grid, sweep_configs
+
+    workloads = []
+    for name in args.workloads.split(","):
+        name = name.strip()
+        if name not in WORKLOADS:
+            print(f"unknown workload {name!r} (have "
+                  f"{', '.join(WORKLOADS)})", file=sys.stderr)
+            return 2
+        workloads.append(WORKLOADS[name])
+    stores = tuple(s.strip() for s in args.stores.split(","))
+    unknown = [s for s in stores if s not in STORE_NAMES]
+    if unknown:
+        print(f"unknown store(s) {', '.join(unknown)} (have "
+              f"{', '.join(STORE_NAMES)})", file=sys.stderr)
+        return 2
+    nodes = tuple(int(n) for n in args.nodes.split(","))
+    spec = SweepSpec(
+        stores=stores, workloads=tuple(workloads), node_counts=nodes,
+        cluster_spec=CLUSTER_D if args.cluster == "D" else CLUSTER_M,
+        records_per_node=args.records, measured_ops=args.ops,
+        warmup_ops=args.warmup, seed=args.seed,
+    )
+    configs, skipped = sweep_configs(spec, derive_seeds=args.derive_seeds)
+    store = ResultStore(args.store)
+    if args.dry_run:
+        cached = sum(1 for c in configs if store.contains(c))
+        print(f"grid: {len(configs)} points ({cached} cached, "
+              f"{len(configs) - cached} to run), "
+              f"{len(skipped)} skipped")
+        for config in configs:
+            state = "hit " if store.contains(config) else "run "
+            print(f"  [{state}] {config.label()}  "
+                  f"#{config.content_hash()[:12]}")
+        return 0
+    execute_grid(configs, jobs=args.jobs, store=store,
+                 progress=_make_progress_printer())
+    rows = [store.get(config).row() for config in configs]
+    payload = stamp({
+        "rows": rows,
+        "skipped": [{"store": s, "reason": r} for s, r in skipped],
+    }, spec)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.export:
+        from pathlib import Path
+
+        out = Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote {len(rows)} rows to {out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_verify_figures(args: argparse.Namespace) -> int:
+    from repro.orchestrator import verify_figures
+
+    violations = verify_figures(args.directory, args.figures)
+    if violations:
+        for violation in violations:
+            print(f"EXPECTATION FAILED: {violation}")
+        print(f"{len(violations)} violation(s)")
+        return 1
+    print("all paper expectations hold")
+    return 0
+
+
 def _cmd_capacity(args: argparse.Namespace) -> int:
     plan = plan_capacity(
         monitored_nodes=args.monitored,
@@ -201,6 +338,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="apmbench",
         description="Reproduction harness for Rabl et al., VLDB 2012",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"apmbench {repro.__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list stores, workloads, figures")
@@ -288,6 +427,88 @@ def main(argv: list[str] | None = None) -> int:
     figure_parser.add_argument("--export", metavar="DIR",
                                help="write JSON/CSV exports to DIR")
 
+    reproduce_parser = sub.add_parser(
+        "reproduce",
+        help="regenerate every paper artefact through the orchestrator")
+    reproduce_parser.add_argument("--figures", default="all",
+                                  metavar="IDS",
+                                  help="comma-separated figure ids, or "
+                                       "'all' (default)")
+    reproduce_parser.add_argument("-j", "--jobs", type=int, default=1,
+                                  help="parallel worker processes "
+                                       "(default 1; results are "
+                                       "byte-identical at any -j)")
+    reproduce_parser.add_argument("--store",
+                                  default="apmbench-results/store",
+                                  metavar="DIR",
+                                  help="on-disk result store shared "
+                                       "across runs (default "
+                                       "apmbench-results/store)")
+    reproduce_parser.add_argument("--out",
+                                  default="apmbench-results/figures",
+                                  metavar="DIR",
+                                  help="directory for figure JSON/CSV "
+                                       "exports")
+    reproduce_parser.add_argument("--profile",
+                                  choices=("smoke", "quick", "paper"),
+                                  default=None,
+                                  help="cost/fidelity profile (default: "
+                                       "REPRO_BENCH_PROFILE or quick)")
+    reproduce_parser.add_argument("--resume", action="store_true",
+                                  help="continue an interrupted run: "
+                                       "completed points are skipped, "
+                                       "in-flight points re-run")
+    reproduce_parser.add_argument("--dry-run", action="store_true",
+                                  help="print the planned grid (points, "
+                                       "expected cache hits, estimated "
+                                       "cost) without executing")
+    reproduce_parser.add_argument("--check", action="store_true",
+                                  help="verify the paper's expectations "
+                                       "on every rebuilt figure")
+
+    grid_parser = sub.add_parser(
+        "grid", help="run an arbitrary store x workload x nodes grid")
+    grid_parser.add_argument("--stores", required=True,
+                             help="comma-separated store names")
+    grid_parser.add_argument("--workloads", required=True,
+                             help="comma-separated workload names")
+    grid_parser.add_argument("--nodes", required=True,
+                             help="comma-separated node counts")
+    grid_parser.add_argument("-j", "--jobs", type=int, default=1)
+    grid_parser.add_argument("-c", "--cluster", choices=("M", "D"),
+                             default="M")
+    grid_parser.add_argument("--records", type=int, default=10_000,
+                             help="records per node (default 10000)")
+    grid_parser.add_argument("--ops", type=int, default=3000,
+                             help="measured operations (default 3000)")
+    grid_parser.add_argument("--warmup", type=int, default=400)
+    grid_parser.add_argument("--seed", type=int, default=42)
+    grid_parser.add_argument("--derive-seeds", action="store_true",
+                             help="give each point an independent seed "
+                                  "derived from --seed and the point "
+                                  "identity (decorrelates points while "
+                                  "staying exactly reproducible)")
+    grid_parser.add_argument("--store",
+                             default="apmbench-results/store",
+                             metavar="DIR")
+    grid_parser.add_argument("--export", metavar="FILE",
+                             help="write the collected rows as JSON "
+                                  "(default: print to stdout)")
+    grid_parser.add_argument("--dry-run", action="store_true",
+                             help="print the planned points and cache "
+                                  "hits without executing")
+
+    verify_parser = sub.add_parser(
+        "verify-figures",
+        help="check exported figure JSON against the paper's "
+             "tolerance bands")
+    verify_parser.add_argument("directory",
+                               help="directory holding <figure>.json "
+                                    "exports")
+    verify_parser.add_argument("--figures", default="all", metavar="IDS",
+                               help="comma-separated figure ids, or "
+                                    "'all' (default)")
+
     capacity_parser = sub.add_parser(
         "capacity", help="Section 8 capacity arithmetic")
     capacity_parser.add_argument("--monitored", type=int, default=240)
@@ -303,6 +524,9 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "chaos": _cmd_chaos,
         "figure": _cmd_figure,
+        "reproduce": _cmd_reproduce,
+        "grid": _cmd_grid,
+        "verify-figures": _cmd_verify_figures,
         "capacity": _cmd_capacity,
     }
     return handlers[args.command](args)

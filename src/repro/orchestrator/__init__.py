@@ -1,0 +1,50 @@
+"""Experiment orchestration: plan, execute and persist benchmark grids.
+
+The paper's evaluation is a large configuration grid (6 stores x 5
+workloads x node counts on two clusters).  This package turns that grid
+into a managed artifact pipeline:
+
+* :mod:`repro.orchestrator.store` — a content-addressed, on-disk result
+  store shared across processes and runs; the in-memory
+  :class:`~repro.analysis.cache.ResultCache` reads through it.
+* :mod:`repro.orchestrator.plan` — cache-aware grid planning by probing
+  the figure builders, including result-dependent points.
+* :mod:`repro.orchestrator.pool` — parallel execution over a process
+  pool, byte-identical to sequential execution.
+* :mod:`repro.orchestrator.manifest` — crash-safe run manifests with
+  resume semantics.
+* :mod:`repro.orchestrator.reproduce` — the one-command entry point
+  behind ``apmbench reproduce --figures all --jobs N``.
+"""
+
+from repro.orchestrator.manifest import ManifestMismatchError, RunManifest
+from repro.orchestrator.plan import (GridPlan, PlanningCache, derive_seed,
+                                     estimate_cost_units, plan_figures,
+                                     sweep_configs)
+from repro.orchestrator.pool import PointOutcome, execute_grid, run_config
+from repro.orchestrator.reproduce import (ReproduceReport, reproduce,
+                                          verify_figures)
+from repro.orchestrator.serialize import (UnportableResultError,
+                                          result_from_dict, result_to_dict)
+from repro.orchestrator.store import ResultStore
+
+__all__ = [
+    "GridPlan",
+    "ManifestMismatchError",
+    "PlanningCache",
+    "PointOutcome",
+    "ReproduceReport",
+    "ResultStore",
+    "RunManifest",
+    "UnportableResultError",
+    "derive_seed",
+    "estimate_cost_units",
+    "execute_grid",
+    "plan_figures",
+    "reproduce",
+    "result_from_dict",
+    "result_to_dict",
+    "run_config",
+    "sweep_configs",
+    "verify_figures",
+]

@@ -1,0 +1,162 @@
+"""Parallel grid execution over a process pool.
+
+Each grid point is a pure function of its :class:`BenchmarkConfig` — the
+simulator draws every random number from streams seeded by the config's
+own seed — so executing points in parallel, in any order, on any worker,
+produces results byte-identical to a sequential run.  Workers receive
+the config in its dict form, run the benchmark, and persist the result
+straight into the shared on-disk store (atomically), which is what makes
+a killed run resumable: finished points are on disk, in-flight points
+simply vanish and re-run.
+
+Cache-aware scheduling lives here too: points already present in the
+store are reported as cache hits without ever reaching a worker.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.orchestrator.serialize import result_from_dict, result_to_dict
+from repro.orchestrator.store import ResultStore
+from repro.ycsb.runner import BenchmarkConfig, BenchmarkResult, run_benchmark
+
+__all__ = ["PointOutcome", "execute_grid", "run_config"]
+
+
+def run_config(config: BenchmarkConfig) -> BenchmarkResult:
+    """Run one grid point (module-level so worker processes can call it)."""
+    return run_benchmark(config.store, config.workload, config.n_nodes,
+                         config=config)
+
+
+def _execute_payload(payload: dict,
+                     store_root: Optional[str]) -> tuple[str, float, dict]:
+    """Worker entry point: run one point from its wire form.
+
+    Returns ``(content_hash, wall_s, result_payload)``.  The result is
+    written to the store *inside the worker* so a completed point
+    survives even if the parent dies before collecting the future.
+    """
+    config = BenchmarkConfig.from_dict(payload)
+    started = time.perf_counter()
+    result = run_config(config)
+    wall_s = time.perf_counter() - started
+    result_payload = result_to_dict(result)
+    if store_root is not None:
+        ResultStore(store_root).put(result)
+    return config.content_hash(), wall_s, result_payload
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one planned grid point."""
+
+    config: BenchmarkConfig
+    content_hash: str
+    wall_s: float
+    cached: bool
+    result: Optional[BenchmarkResult] = None
+
+
+def execute_grid(configs: list[BenchmarkConfig], jobs: int = 1,
+                 store: Optional[ResultStore] = None,
+                 manifest=None,
+                 progress: Optional[Callable] = None,
+                 ) -> list[PointOutcome]:
+    """Execute every point of ``configs``; returns outcomes in input order.
+
+    ``jobs > 1`` fans the points out over a ``ProcessPoolExecutor``;
+    ``jobs <= 1`` runs them inline (same code path as the workers, so
+    the two modes cannot drift).  ``manifest`` (a
+    :class:`~repro.orchestrator.manifest.RunManifest`) receives
+    start/done/error events; ``progress`` is called as
+    ``progress(done_count, total, outcome)`` after every point.
+
+    A worker failure aborts the grid: the first exception is re-raised
+    after cancelling unstarted points.  Points that finished before the
+    failure are already persisted and will be skipped on resume.
+    """
+    total = len(configs)
+    outcomes: dict[str, PointOutcome] = {}
+    done_count = 0
+
+    def note(outcome: PointOutcome) -> None:
+        nonlocal done_count
+        done_count += 1
+        outcomes[outcome.content_hash] = outcome
+        if progress is not None:
+            progress(done_count, total, outcome)
+
+    pending: list[BenchmarkConfig] = []
+    for config in configs:
+        content_hash = config.content_hash()
+        if store is not None and store.contains(config):
+            note(PointOutcome(config, content_hash, 0.0, cached=True))
+            continue
+        pending.append(config)
+
+    store_root = str(store.root) if store is not None else None
+
+    if jobs <= 1 or len(pending) <= 1:
+        for config in pending:
+            content_hash = config.content_hash()
+            if manifest is not None:
+                manifest.record_start(content_hash)
+            try:
+                __, wall_s, payload = _execute_payload(
+                    config.to_dict(), store_root)
+            except Exception as error:
+                if manifest is not None:
+                    manifest.record_error(content_hash, str(error))
+                raise
+            if manifest is not None:
+                manifest.record_done(content_hash, wall_s)
+            note(PointOutcome(config, content_hash, wall_s, cached=False,
+                              result=result_from_dict(payload)))
+    elif pending:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {}
+            for config in pending:
+                content_hash = config.content_hash()
+                if manifest is not None:
+                    manifest.record_start(content_hash)
+                future = pool.submit(_execute_payload, config.to_dict(),
+                                     store_root)
+                futures[future] = config
+            not_done = set(futures)
+            try:
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_EXCEPTION)
+                    for future in finished:
+                        config = futures[future]
+                        content_hash = config.content_hash()
+                        error = future.exception()
+                        if error is not None:
+                            if manifest is not None:
+                                manifest.record_error(content_hash,
+                                                      str(error))
+                            raise RuntimeError(
+                                f"grid point {config.label()} failed: "
+                                f"{error}") from error
+                        __, wall_s, payload = future.result()
+                        if manifest is not None:
+                            manifest.record_done(content_hash, wall_s)
+                        note(PointOutcome(
+                            config, content_hash, wall_s, cached=False,
+                            result=result_from_dict(payload)))
+            finally:
+                for future in not_done:
+                    future.cancel()
+
+    # Input order, for callers that zip outcomes back onto their grid.
+    ordered = []
+    for config in configs:
+        outcome = outcomes.get(config.content_hash())
+        if outcome is not None:
+            ordered.append(outcome)
+    return ordered

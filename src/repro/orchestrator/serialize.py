@@ -1,0 +1,143 @@
+"""Wire format for benchmark results.
+
+The orchestrator moves :class:`~repro.ycsb.runner.BenchmarkResult`
+objects across process boundaries and persists them in the on-disk
+result store, so they need a lossless, byte-deterministic JSON form.
+
+Only *plain measurement* results are portable: runs that carry fault
+logs, sampled traces, telemetry bundles or availability timelines hold
+object graphs the figure pipeline never reads from the store, so
+serialising them would be dead weight — :func:`result_to_dict` raises
+:class:`UnportableResultError` instead and callers skip persistence.
+
+Determinism contract: ``result_from_dict(result_to_dict(r))`` preserves
+every number the analysis layer reads (throughput, histograms and their
+percentiles, error counts, disk usage), and re-serialising the rebuilt
+result yields byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.stores.base import OpType
+from repro.ycsb.runner import (BenchmarkConfig, BenchmarkResult,
+                               UnportableConfigError)
+from repro.ycsb.stats import LatencyHistogram, RunStats
+
+__all__ = ["RESULT_FORMAT", "UnportableResultError", "histogram_to_dict",
+           "histogram_from_dict", "result_to_dict", "result_from_dict"]
+
+#: Schema version of :func:`result_to_dict` payloads.
+RESULT_FORMAT = 1
+
+
+class UnportableResultError(ValueError):
+    """A result that cannot round-trip through JSON losslessly."""
+
+
+def histogram_to_dict(histogram: LatencyHistogram) -> dict:
+    """Sparse JSON form of one latency histogram."""
+    counts = {str(i): c for i, c in enumerate(histogram._counts) if c}
+    return {
+        "counts": counts,
+        "count": histogram.count,
+        "total": histogram.total,
+        # math.inf (the empty-histogram sentinel) has no JSON literal.
+        "min": histogram._min if histogram.count else None,
+        "max": histogram.max,
+        "errors": histogram.errors,
+    }
+
+
+def histogram_from_dict(payload: dict) -> LatencyHistogram:
+    """Rebuild a histogram from :func:`histogram_to_dict` output."""
+    histogram = LatencyHistogram()
+    for index, count in payload["counts"].items():
+        histogram._counts[int(index)] = count
+    histogram.count = payload["count"]
+    histogram.total = payload["total"]
+    histogram._min = math.inf if payload["min"] is None else payload["min"]
+    histogram.max = payload["max"]
+    histogram.errors = payload["errors"]
+    return histogram
+
+
+def result_to_dict(result: BenchmarkResult) -> dict:
+    """JSON-ready form of one benchmark result.
+
+    Raises :class:`UnportableResultError` when the result (or its
+    config) holds state with no lossless JSON form.
+    """
+    config = result.config
+    if not config.is_portable:
+        raise UnportableResultError(
+            f"config for {config.label()} is not serialisable "
+            "(fault schedule, retry policy or opaque store_kwargs)")
+    stats = result.stats
+    attached: list[str] = []
+    if result.fault_log:
+        attached.append("fault_log")
+    if result.traces:
+        attached.append("traces")
+    if result.metrics is not None:
+        attached.append("metrics")
+    if stats.timeline is not None:
+        attached.append("timeline")
+    if stats.breakdown is not None:
+        attached.append("breakdown")
+    if attached:
+        raise UnportableResultError(
+            f"result for {config.label()} carries non-serialisable "
+            f"measurement state: {', '.join(attached)}")
+    return {
+        "format": RESULT_FORMAT,
+        "config": config.to_dict(),
+        "connections": result.connections,
+        "store_errors": result.store_errors,
+        "disk_bytes_per_server": list(result.disk_bytes_per_server),
+        "stats": {
+            "operations": stats.operations,
+            "errors": stats.errors,
+            "started_at": stats.started_at,
+            "finished_at": stats.finished_at,
+            # Empty histograms are omitted: accessors like ``row()``
+            # lazily create them on read, so keeping them would make the
+            # wire bytes depend on which attributes were touched first.
+            "histograms": {
+                op.value: histogram_to_dict(h)
+                for op, h in sorted(stats.histograms.items(),
+                                    key=lambda kv: kv[0].value)
+                if h.count or h.errors
+            },
+        },
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> BenchmarkResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    if payload.get("format") != RESULT_FORMAT:
+        raise ValueError(
+            f"unsupported result format {payload.get('format')!r} "
+            f"(expected {RESULT_FORMAT})")
+    try:
+        config = BenchmarkConfig.from_dict(payload["config"])
+    except UnportableConfigError as error:  # pragma: no cover - defensive
+        raise UnportableResultError(str(error)) from error
+    stats_d = payload["stats"]
+    stats = RunStats(
+        histograms={OpType(op): histogram_from_dict(h)
+                    for op, h in stats_d["histograms"].items()},
+        operations=stats_d["operations"],
+        errors=stats_d["errors"],
+        started_at=stats_d["started_at"],
+        finished_at=stats_d["finished_at"],
+    )
+    return BenchmarkResult(
+        config=config,
+        stats=stats,
+        connections=payload["connections"],
+        store_errors=payload["store_errors"],
+        disk_bytes_per_server=list(payload["disk_bytes_per_server"]),
+    )

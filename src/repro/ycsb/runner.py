@@ -18,13 +18,17 @@ simulated substrate:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional
 
 from repro.faults.availability import AvailabilityTimeline
 from repro.faults.chaos import ChaosController
 from repro.faults.schedule import FaultSchedule
-from repro.sim.cluster import CLUSTER_M, Cluster, ClusterSpec
+from repro.sim.cluster import CLUSTER_M, Cluster, ClusterSpec, NodeSpec
+from repro.sim.disk import DiskSpec
+from repro.sim.network import NetworkSpec
 from repro.storage.record import APM_SCHEMA, RecordSchema
 from repro.stores.base import OpType, RetryPolicy, Store
 from repro.stores.registry import store_class
@@ -35,11 +39,53 @@ from repro.ycsb.stats import LatencyHistogram, RunStats
 from repro.ycsb.throttle import Throttle
 from repro.ycsb.workload import Workload
 
-__all__ = ["BenchmarkConfig", "BenchmarkResult", "run_benchmark",
-           "scaled_spec"]
+__all__ = ["BenchmarkConfig", "BenchmarkResult", "UnportableConfigError",
+           "run_benchmark", "scaled_spec"]
 
 #: Records per node the paper loads on Cluster M (Section 3).
 PAPER_RECORDS_PER_NODE = 10_000_000
+
+#: Schema version of :meth:`BenchmarkConfig.to_dict` payloads.
+CONFIG_FORMAT = 1
+
+
+class UnportableConfigError(ValueError):
+    """A configuration that cannot be rebuilt from its dict form.
+
+    Raised by :meth:`BenchmarkConfig.from_dict` when the payload carries
+    opaque (fingerprint-only) entries — a fault schedule, a retry policy,
+    or non-JSON ``store_kwargs`` values.  Such configs still *hash* and
+    *key* deterministically; they just cannot cross a process boundary.
+    """
+
+
+def _opaque(value: Any) -> dict:
+    """Reduce a non-JSON value to a stable fingerprint marker."""
+    from repro.analysis.provenance import config_fingerprint
+
+    return {"__opaque__": config_fingerprint(value)}
+
+
+def _portable_value(value: Any) -> Any:
+    """A JSON-ready projection of ``value``; opaque where it must be."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _portable_value(v) for k, v in sorted(
+            value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_portable_value(v) for v in value]
+    return _opaque(value)
+
+
+def _contains_opaque(value: Any) -> bool:
+    if isinstance(value, dict):
+        if "__opaque__" in value:
+            return True
+        return any(_contains_opaque(v) for v in value.values())
+    if isinstance(value, list):
+        return any(_contains_opaque(v) for v in value)
+    return False
 
 
 def scaled_spec(spec: ClusterSpec, records_per_node: int,
@@ -116,6 +162,129 @@ class BenchmarkConfig:
             raise ValueError("sustained_subwindows must be >= 2")
         if not 0.0 <= self.sustained_tolerance <= 1.0:
             raise ValueError("sustained_tolerance must be in [0, 1]")
+
+    # -- serialisation and content addressing -------------------------------
+    #
+    # ``to_dict`` is the single source of truth for a config's identity:
+    # the cache key (:meth:`content_key`), the content hash
+    # (:meth:`content_hash`, used by the on-disk result store) and the
+    # wire form (:meth:`from_dict`) are all derived from it, so they can
+    # never silently diverge.  ``tests/orchestrator/test_serialize.py``
+    # additionally asserts every dataclass field appears in the payload.
+
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready projection of this configuration.
+
+        Always succeeds: values that have no JSON form (a fault
+        schedule, a retry policy, exotic ``store_kwargs``) are reduced
+        to ``{"__opaque__": <fingerprint>}`` markers so the projection
+        still identifies the config uniquely; such payloads are rejected
+        by :meth:`from_dict` (see :meth:`is_portable`).
+        """
+        workload = self.workload
+        return {
+            "format": CONFIG_FORMAT,
+            "store": self.store,
+            "workload": {
+                "name": workload.name,
+                "read_proportion": workload.read_proportion,
+                "insert_proportion": workload.insert_proportion,
+                "scan_proportion": workload.scan_proportion,
+                "update_proportion": workload.update_proportion,
+                "delete_proportion": workload.delete_proportion,
+                "scan_length": workload.scan_length,
+                "distribution": workload.distribution,
+            },
+            "n_nodes": self.n_nodes,
+            "cluster_spec": asdict(self.cluster_spec),
+            "records_per_node": self.records_per_node,
+            "paper_records_per_node": self.paper_records_per_node,
+            "measured_ops": self.measured_ops,
+            "warmup_ops": self.warmup_ops,
+            "seed": self.seed,
+            "target_throughput": self.target_throughput,
+            "store_kwargs": _portable_value(self.store_kwargs),
+            "fault_schedule": (None if self.fault_schedule is None
+                               else _opaque(self.fault_schedule)),
+            "duration_s": self.duration_s,
+            "availability_window_s": self.availability_window_s,
+            "retry": None if self.retry is None else _opaque(self.retry),
+            "trace_sample_every": self.trace_sample_every,
+            "trace_max_traces": self.trace_max_traces,
+            "metrics_interval_s": self.metrics_interval_s,
+            "sustained_subwindows": self.sustained_subwindows,
+            "sustained_tolerance": self.sustained_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchmarkConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Raises :class:`UnportableConfigError` for payloads carrying
+        opaque markers, and :class:`ValueError` for unknown formats.
+        """
+        if payload.get("format") != CONFIG_FORMAT:
+            raise ValueError(
+                f"unsupported config format {payload.get('format')!r} "
+                f"(expected {CONFIG_FORMAT})")
+        if _contains_opaque(payload):
+            raise UnportableConfigError(
+                "config payload carries opaque (non-serialisable) values; "
+                "fault schedules and retry policies cannot cross a "
+                "process boundary")
+        spec_d = payload["cluster_spec"]
+        node_d = dict(spec_d["node"])
+        node = NodeSpec(**{**node_d, "disk": DiskSpec(**node_d["disk"])})
+        spec = ClusterSpec(
+            name=spec_d["name"],
+            node=node,
+            max_nodes=spec_d["max_nodes"],
+            network=NetworkSpec(**spec_d["network"]),
+            connections_per_node=spec_d["connections_per_node"],
+            servers_per_client=spec_d["servers_per_client"],
+        )
+        return cls(
+            store=payload["store"],
+            workload=Workload(**payload["workload"]),
+            n_nodes=payload["n_nodes"],
+            cluster_spec=spec,
+            records_per_node=payload["records_per_node"],
+            paper_records_per_node=payload["paper_records_per_node"],
+            measured_ops=payload["measured_ops"],
+            warmup_ops=payload["warmup_ops"],
+            seed=payload["seed"],
+            target_throughput=payload["target_throughput"],
+            store_kwargs=dict(payload["store_kwargs"]),
+            duration_s=payload["duration_s"],
+            availability_window_s=payload["availability_window_s"],
+            trace_sample_every=payload["trace_sample_every"],
+            trace_max_traces=payload["trace_max_traces"],
+            metrics_interval_s=payload["metrics_interval_s"],
+            sustained_subwindows=payload["sustained_subwindows"],
+            sustained_tolerance=payload["sustained_tolerance"],
+        )
+
+    @property
+    def is_portable(self) -> bool:
+        """Whether :meth:`from_dict` can rebuild this config."""
+        return not _contains_opaque(self.to_dict())
+
+    def content_key(self) -> str:
+        """Canonical identity string (the cache key) of this config."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """sha256 hex digest of :meth:`content_key` (store address)."""
+        return hashlib.sha256(self.content_key().encode()).hexdigest()
+
+    def label(self) -> str:
+        """A short human-readable point label for logs and progress."""
+        parts = [f"{self.store}/{self.workload.name}/n{self.n_nodes}",
+                 f"cluster={self.cluster_spec.name}"]
+        if self.target_throughput is not None:
+            parts.append(f"target={self.target_throughput:.0f}")
+        return " ".join(parts)
 
 
 @dataclass

@@ -1,0 +1,128 @@
+"""The content-addressed on-disk result store."""
+
+import json
+
+from repro.analysis.cache import ResultCache
+from repro.orchestrator.store import ResultStore
+from repro.ycsb.workload import WORKLOAD_RW
+
+from tests.orchestrator.test_serialize import make_config, make_result
+
+
+class TestResultStore:
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(make_config()) is None
+        assert not store.contains(make_config())
+        assert len(store) == 0
+
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        path = store.put(result)
+        assert path is not None
+        assert path.is_file()
+        assert store.contains(result.config)
+        got = store.get(result.config)
+        assert got.row() == result.row()
+        assert store.disk_hits == 1
+        assert list(store.keys()) == [result.config.content_hash()]
+
+    def test_layout_is_content_addressed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        path = store.put(result)
+        content_hash = result.config.content_hash()
+        assert path.name == f"{content_hash}.json"
+        assert path.parent.name == content_hash[:2]
+        assert path.parent.parent.name == "objects"
+
+    def test_blob_is_provenance_stamped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        payload = json.loads(store.put(result).read_text())
+        assert payload["provenance"]["seed"] == result.config.seed
+        assert "config_hash" in payload["provenance"]
+        assert "package_version" in payload["provenance"]
+
+    def test_rewrite_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        path = store.put(result)
+        first = path.read_bytes()
+        store.put(make_result())
+        assert path.read_bytes() == first
+
+    def test_corrupt_blob_counts_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        path = store.put(result)
+        path.write_text("{ truncated")
+        assert store.get(result.config) is None
+
+    def test_unportable_result_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result()
+        result.fault_log = [(1.0, "crash")]
+        assert store.put(result) is None
+        assert len(store) == 0
+
+    def test_distinct_configs_distinct_blobs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_result())
+        store.put(make_result(config=make_config(workload=WORKLOAD_RW)))
+        assert len(store) == 2
+
+
+class TestCacheReadThrough:
+    def test_miss_runs_and_persists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def runner(config):
+            calls.append(config)
+            return make_result(config=config)
+
+        cache = ResultCache(runner=runner, store=store)
+        config = make_config()
+        cache.get(config)
+        assert len(calls) == 1
+        assert store.contains(config)
+
+    def test_fresh_cache_hits_disk_not_runner(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ResultCache(runner=lambda c: make_result(config=c),
+                    store=store).get(make_config())
+
+        def exploding_runner(config):  # pragma: no cover - must not run
+            raise AssertionError("should have been served from disk")
+
+        cache = ResultCache(runner=exploding_runner, store=store)
+        result = cache.get(make_config())
+        assert result.row() == make_result().row()
+        assert cache.hits == 1
+        assert cache.store_hits == 1
+        assert cache.misses == 0
+
+    def test_clear_keeps_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        calls = []
+
+        def runner(config):
+            calls.append(config)
+            return make_result(config=config)
+
+        cache = ResultCache(runner=runner, store=store)
+        cache.get(make_config())
+        cache.clear()
+        cache.get(make_config())
+        assert len(calls) == 1  # second get served from disk
+
+    def test_default_cache_env_store(self, tmp_path, monkeypatch):
+        import repro.analysis.cache as cache_module
+
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        monkeypatch.setattr(cache_module, "_GLOBAL_CACHE", None)
+        cache = cache_module.default_cache()
+        assert cache.store is not None
+        assert str(cache.store.root) == str(tmp_path / "store")

@@ -81,3 +81,88 @@ class TestCapacity:
         code = main(["capacity", "--throughput-per-node", "25000"])
         assert code == 0
         assert "sustainable" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("apmbench ")
+
+
+class TestReproduce:
+    def test_dry_run_prints_plan(self, tmp_path, capsys):
+        code = main(["reproduce", "--figures", "fig3,fig4",
+                     "--profile", "smoke", "--dry-run",
+                     "--store", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figures:  fig3, fig4" in out
+        assert "to run" in out
+        assert "est cost" in out
+        assert "[run ]" in out
+
+    def test_model_only_figures_end_to_end(self, tmp_path, capsys):
+        code = main(["reproduce", "--figures", "table1,fig17",
+                     "--profile", "smoke", "--check",
+                     "--store", str(tmp_path / "store"),
+                     "--out", str(tmp_path / "figures")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "points:    0 executed" in out
+        assert "artefacts:" in out
+        assert "all paper expectations hold" in out
+        assert (tmp_path / "figures" / "fig17.json").exists()
+        assert (tmp_path / "figures" / "table1.csv").exists()
+
+
+class TestGrid:
+    def test_runs_exports_and_then_caches(self, tmp_path, capsys):
+        import json
+
+        export = tmp_path / "grid.json"
+        base = ["grid", "--stores", "redis", "--workloads", "R",
+                "--nodes", "1,2", "--records", "200", "--ops", "100",
+                "--warmup", "20", "--store", str(tmp_path / "store")]
+        assert main(base + ["--export", str(export)]) == 0
+        out = capsys.readouterr().out
+        assert "ETA" in out
+        assert "wrote 2 rows" in out
+        payload = json.loads(export.read_text())
+        assert len(payload["rows"]) == 2
+        assert "provenance" in payload
+
+        # Second invocation: every point is already in the store.
+        assert main(base + ["--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points (2 cached, 0 to run)" in out
+        assert "[hit ]" in out
+
+    def test_rejects_unknown_workload(self, capsys):
+        code = main(["grid", "--stores", "redis", "--workloads", "ZZ",
+                     "--nodes", "1"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_rejects_unknown_store(self, capsys):
+        code = main(["grid", "--stores", "mongodb", "--workloads", "R",
+                     "--nodes", "1"])
+        assert code == 2
+        assert "unknown store" in capsys.readouterr().err
+
+
+class TestVerifyFigures:
+    def test_committed_exports_pass(self, capsys):
+        code = main(["verify-figures", "benchmarks/results",
+                     "--figures", "fig3,fig17"])
+        assert code == 0
+        assert "all paper expectations hold" in capsys.readouterr().out
+
+    def test_missing_exports_fail(self, tmp_path, capsys):
+        code = main(["verify-figures", str(tmp_path),
+                     "--figures", "fig3"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "EXPECTATION FAILED" in out
+        assert "violation(s)" in out
