@@ -8,6 +8,7 @@ Subcommands::
     apmbench figure fig3 [--chart] [--check]
     apmbench reproduce --figures all --jobs 8   # every paper artefact
     apmbench grid --stores redis,mysql --workloads R,RW --nodes 1,2
+    apmbench overload -s redis -n 1 --multipliers 0.5,1,1.5,2
     apmbench verify-figures apmbench-results/figures
     apmbench capacity --monitored 240 --throughput-per-node 15000
 
@@ -303,6 +304,63 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.provenance import stamp
+    from repro.overload import OverloadPolicy
+    from repro.overload.openloop import goodput_sweep
+    from repro.ycsb.runner import BenchmarkConfig
+
+    workload = WORKLOADS[args.workload]
+    spec = CLUSTER_D if args.cluster == "D" else CLUSTER_M
+    policy = OverloadPolicy(
+        max_queue=args.max_queue,
+        deadline_s=args.deadline,
+        retry_budget_per_s=args.retry_budget,
+    )
+    config = BenchmarkConfig(
+        store=args.store, workload=workload, n_nodes=args.nodes,
+        cluster_spec=spec, records_per_node=args.records,
+        measured_ops=args.ops, seed=args.seed, overload=policy,
+    )
+    multipliers = tuple(float(m) for m in args.multipliers.split(","))
+    sweep = goodput_sweep(
+        config, multipliers=multipliers, duration_s=args.duration,
+        warmup_s=args.warmup, use_sustained=not args.no_sustained,
+        include_unprotected=not args.protected_only,
+    )
+    sat = sweep.saturation
+    print(f"store={args.store} workload={args.workload} "
+          f"nodes={args.nodes} cluster={args.cluster}")
+    print(f"saturation: {sat.rate:,.0f} ops/s "
+          + (f"(sustained floor; closed-loop peak {sat.throughput:,.0f})"
+             if sat.floor else "(closed-loop throughput)"))
+    print()
+    header = (f"{'offered':>10} {'mode':<12} {'goodput':>10} "
+              f"{'in-SLO':>8} {'shed':>8} {'deadline':>9} {'maxq':>6}")
+    print(header)
+    rows = [(point, "protected") for point in sweep.protected]
+    rows += [(point, "unprotected") for point in sweep.unprotected]
+    rows.sort(key=lambda pair: (pair[0].offered_rate, pair[1]))
+    for point, mode in rows:
+        pct = (100.0 * point.in_slo / point.arrivals
+               if point.arrivals else 0.0)
+        deadline_errors = point.error_kinds.get("deadline", 0)
+        print(f"{point.offered_rate:>10,.0f} {mode:<12} "
+              f"{point.goodput:>10,.0f} {pct:>7.1f}% {point.shed:>8} "
+              f"{deadline_errors:>9} {point.max_queue_depth:>6}")
+    if args.export:
+        from pathlib import Path
+
+        payload = stamp(sweep.to_dict(), config)
+        out = Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nwrote sweep to {out}")
+    return 0
+
+
 def _cmd_verify_figures(args: argparse.Namespace) -> int:
     from repro.orchestrator import verify_figures
 
@@ -498,6 +556,52 @@ def main(argv: list[str] | None = None) -> int:
                              help="print the planned points and cache "
                                   "hits without executing")
 
+    overload_parser = sub.add_parser(
+        "overload",
+        help="goodput-vs-offered-load sweep with overload protections "
+             "on and off")
+    overload_parser.add_argument("-s", "--store", choices=STORE_NAMES,
+                                 required=True)
+    overload_parser.add_argument("-w", "--workload",
+                                 choices=list(WORKLOADS), default="R")
+    overload_parser.add_argument("-n", "--nodes", type=int, default=1)
+    overload_parser.add_argument("-c", "--cluster", choices=("M", "D"),
+                                 default="M")
+    overload_parser.add_argument("--records", type=int, default=5_000,
+                                 help="records per node (default 5000)")
+    overload_parser.add_argument("--ops", type=int, default=3000,
+                                 help="measured ops of the saturation "
+                                      "probe (default 3000)")
+    overload_parser.add_argument("--seed", type=int, default=42)
+    overload_parser.add_argument("--multipliers", default="0.5,1,1.5,2",
+                                 help="offered load as multiples of the "
+                                      "saturation rate (default "
+                                      "0.5,1,1.5,2)")
+    overload_parser.add_argument("--duration", type=float, default=1.0,
+                                 help="measurement window per point in "
+                                      "simulated seconds (default 1.0)")
+    overload_parser.add_argument("--warmup", type=float, default=0.25,
+                                 help="open-loop warmup in simulated "
+                                      "seconds (default 0.25)")
+    overload_parser.add_argument("--max-queue", type=int, default=64,
+                                 help="bounded-queue/admission limit "
+                                      "(default 64)")
+    overload_parser.add_argument("--deadline", type=float, default=0.25,
+                                 help="per-op deadline in seconds "
+                                      "(default 0.25)")
+    overload_parser.add_argument("--retry-budget", type=float,
+                                 default=100.0,
+                                 help="retry tokens per second "
+                                      "(default 100)")
+    overload_parser.add_argument("--no-sustained", action="store_true",
+                                 help="skip telemetry in the saturation "
+                                      "probe (use raw throughput)")
+    overload_parser.add_argument("--protected-only", action="store_true",
+                                 help="skip the unprotected baseline "
+                                      "sweep")
+    overload_parser.add_argument("--export", metavar="FILE",
+                                 help="write the sweep as stamped JSON")
+
     verify_parser = sub.add_parser(
         "verify-figures",
         help="check exported figure JSON against the paper's "
@@ -526,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "reproduce": _cmd_reproduce,
         "grid": _cmd_grid,
+        "overload": _cmd_overload,
         "verify-figures": _cmd_verify_figures,
         "capacity": _cmd_capacity,
     }

@@ -61,6 +61,8 @@ def instrument_cluster(registry: MetricsRegistry, cluster: Cluster) -> None:
     registry.meter("net_bytes_total", lambda n=net: n.bytes_sent)
     registry.meter("net_messages_failed_total",
                    lambda n=net: n.messages_failed)
+    registry.meter("net_messages_expired_total",
+                   lambda n=net: n.messages_expired)
 
 
 def _instrument_node(registry: MetricsRegistry, node: Node) -> None:
@@ -71,6 +73,12 @@ def _instrument_node(registry: MetricsRegistry, node: Node) -> None:
     registry.meter("node_cpu_slot_seconds", cpus.slot_seconds, **labels)
     registry.meter("node_cpu_busy_seconds", cpus.busy_seconds, **labels)
     registry.probe("node_cpu_queue", lambda r=cpus: r.queue_length, **labels)
+    # Overload accounting: admissions refused at a full queue and waits
+    # abandoned because the request's deadline passed.
+    registry.meter("node_cpu_rejected_total",
+                   lambda r=cpus: r.stats.rejected, **labels)
+    registry.meter("node_cpu_expired_total",
+                   lambda r=cpus: r.stats.expired, **labels)
 
     disk = node.disk
     registry.meter("node_disk_busy_seconds", disk.queue.busy_seconds,

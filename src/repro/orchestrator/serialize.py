@@ -48,6 +48,8 @@ def histogram_to_dict(histogram: LatencyHistogram) -> dict:
         "min": histogram._min if histogram.count else None,
         "max": histogram.max,
         "errors": histogram.errors,
+        "error_kinds": {k: histogram.error_kinds[k]
+                        for k in sorted(histogram.error_kinds)},
     }
 
 
@@ -61,6 +63,8 @@ def histogram_from_dict(payload: dict) -> LatencyHistogram:
     histogram._min = math.inf if payload["min"] is None else payload["min"]
     histogram.max = payload["max"]
     histogram.errors = payload["errors"]
+    # Pre-overload payloads (same format version) lack the kind split.
+    histogram.error_kinds = dict(payload.get("error_kinds", {}))
     return histogram
 
 

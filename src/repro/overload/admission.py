@@ -1,0 +1,56 @@
+"""Admission gates for stores without an executor-channel resource.
+
+Redis, VoltDB and HBase bound their queues directly on the executor
+:class:`~repro.sim.resources.Resource` (event loops, sites, handler
+pools).  MySQL and Voldemort have no such channel in the model — their
+clients talk straight to the server over the network — so the natural
+admission point is the client-side connection pool: a bounded count of
+in-flight requests per server, with the (N+1)-th attempt rejected
+immediately instead of queueing, exactly how an exhausted JDBC/driver
+pool fails.
+"""
+
+from __future__ import annotations
+
+from repro.sim.faults import OverloadError
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """A counting gate bounding in-flight requests to one server.
+
+    Unlike a :class:`~repro.sim.resources.Resource` there is no queue at
+    all: :meth:`try_admit` either admits immediately or raises
+    :class:`OverloadError`.  Callers pair it with :meth:`release` in a
+    ``try/finally``.
+    """
+
+    def __init__(self, limit: int, name: str = "gate"):
+        if limit < 1:
+            raise ValueError(f"gate limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.name = name
+        self.in_flight = 0
+        #: Peak concurrent admissions (saturation diagnostics).
+        self.peak_in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def try_admit(self) -> None:
+        """Admit one request or raise :class:`OverloadError`."""
+        if self.in_flight >= self.limit:
+            self.rejected += 1
+            raise OverloadError(
+                f"{self.name} connection pool exhausted "
+                f"({self.in_flight} >= {self.limit})")
+        self.in_flight += 1
+        self.admitted += 1
+        if self.in_flight > self.peak_in_flight:
+            self.peak_in_flight = self.in_flight
+
+    def release(self) -> None:
+        """Return an admitted request's slot."""
+        if self.in_flight <= 0:
+            raise RuntimeError(f"{self.name}: release without admit")
+        self.in_flight -= 1

@@ -1,0 +1,440 @@
+"""Open-loop goodput measurement: offered load vs. useful work.
+
+The paper's YCSB harness is *closed-loop*: a fixed set of synchronous
+threads each wait for their previous operation, so offered load drops
+automatically when the cluster slows — congestion collapse is invisible
+by construction.  Real APM agents are *open-loop*: metric insertions
+arrive on a wall-clock schedule whether or not the store keeps up
+(Section 2's 11k+ inserts/s per monitored system), and a saturated
+cluster faces unbounded queue growth.
+
+This module provides that missing harness:
+
+* :func:`run_overload_point` drives one store at a fixed offered rate
+  with deterministic fixed-interval arrivals, each operation running as
+  its own simulated process, and reports *goodput* — operations that
+  succeeded within the SLO — plus rejection/expiry/queue-depth evidence;
+* :func:`find_saturation` locates the peak sustainable closed-loop
+  throughput (the sustained floor from ``repro.metrics`` when telemetry
+  is on, the plain measured throughput otherwise);
+* :func:`goodput_sweep` sweeps offered load past the saturation point
+  (e.g. to 2x) with the overload protections on and off, producing the
+  protected-vs-unprotected comparison the overload benchmark asserts on.
+
+Everything runs on simulated time with seeded randomness only, so a
+fixed configuration yields byte-identical sweep payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.stores.base import OpType
+from repro.ycsb.client import attempt_op
+from repro.ycsb.generator import (KeySequence, generate_record,
+                                  generate_records, make_chooser)
+from repro.ycsb.runner import (PAPER_RECORDS_PER_NODE, BenchmarkConfig,
+                               _build_store, run_benchmark, scaled_spec)
+from repro.ycsb.stats import ERROR_KINDS
+
+__all__ = ["OverloadPoint", "OverloadSweep", "SaturationEstimate",
+           "find_saturation", "goodput_sweep", "run_overload_point"]
+
+#: Default SLO when the configuration carries no deadline: the paper's
+#: latency figures put healthy operations well under this bound.
+DEFAULT_SLO_S = 0.25
+
+
+@dataclass(frozen=True)
+class OverloadPoint:
+    """One open-loop measurement at a fixed offered rate."""
+
+    store: str
+    workload: str
+    n_nodes: int
+    protected: bool
+    offered_rate: float
+    duration_s: float
+    slo_s: float
+    #: Operations that arrived inside the measurement window.
+    arrivals: int
+    #: In-window arrivals that succeeded within the SLO.
+    in_slo: int
+    #: In-window arrivals that succeeded at all.
+    succeeded: int
+    #: In-window arrivals that failed, by kind (see ``ERROR_KINDS``).
+    error_kinds: dict
+    #: Useful work per second: ``in_slo / duration_s``.
+    goodput: float
+    #: Mean latency of completed in-window operations (seconds).
+    mean_latency_s: float
+    #: Deepest backlog the queue monitor observed (channels + node CPUs).
+    max_queue_depth: int
+    #: Operations the store refused at admission (queues + gates + shed).
+    shed: int
+
+    def to_dict(self) -> dict:
+        """A JSON-ready projection (stable key order via sort_keys)."""
+        return {
+            "store": self.store,
+            "workload": self.workload,
+            "n_nodes": self.n_nodes,
+            "protected": self.protected,
+            "offered_rate": self.offered_rate,
+            "duration_s": self.duration_s,
+            "slo_s": self.slo_s,
+            "arrivals": self.arrivals,
+            "in_slo": self.in_slo,
+            "succeeded": self.succeeded,
+            "error_kinds": {k: self.error_kinds[k]
+                            for k in sorted(self.error_kinds)},
+            "goodput": self.goodput,
+            "mean_latency_s": self.mean_latency_s,
+            "max_queue_depth": self.max_queue_depth,
+            "shed": self.shed,
+        }
+
+
+@dataclass(frozen=True)
+class SaturationEstimate:
+    """Peak sustainable throughput for one configuration."""
+
+    #: The rate the sweep multiplies: the open-loop capacity when the
+    #: estimate was refined, else the sustained floor when telemetry
+    #: verified one, else the measured closed-loop throughput.
+    rate: float
+    #: Raw closed-loop throughput of the probe run.
+    throughput: float
+    #: Sustained floor/peak from ``repro.metrics`` (``None`` without
+    #: telemetry).
+    floor: Optional[float]
+    peak: Optional[float]
+    #: Open-loop goodput capacity (``None`` when refinement was off).
+    open_loop: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {"rate": self.rate, "throughput": self.throughput,
+                "floor": self.floor, "peak": self.peak,
+                "open_loop": self.open_loop}
+
+
+@dataclass
+class OverloadSweep:
+    """A protected-vs-unprotected goodput sweep over offered load."""
+
+    config: BenchmarkConfig
+    saturation: SaturationEstimate
+    multipliers: tuple
+    protected: list = field(default_factory=list)
+    unprotected: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "saturation": self.saturation.to_dict(),
+            "multipliers": list(self.multipliers),
+            "protected": [p.to_dict() for p in self.protected],
+            "unprotected": [p.to_dict() for p in self.unprotected],
+        }
+
+
+class _OpenLoopRun:
+    """State of one open-loop drive: cluster, sessions, counters."""
+
+    def __init__(self, config: BenchmarkConfig, offered_rate: float,
+                 duration_s: float, warmup_s: float, slo_s: float,
+                 queue_sample_s: float):
+        from repro.sim.rng import RngRegistry
+        from repro.stores.registry import store_class
+
+        if offered_rate <= 0:
+            raise ValueError(f"offered_rate must be positive, "
+                             f"got {offered_rate}")
+        self.config = config
+        self.offered_rate = offered_rate
+        self.duration_s = duration_s
+        self.warmup_s = warmup_s
+        self.slo_s = slo_s
+        self.queue_sample_s = queue_sample_s
+
+        from repro.sim.cluster import Cluster
+        from repro.storage.record import APM_SCHEMA
+
+        cls = store_class(config.store)
+        if config.workload.has_scans and not cls.supports_scans:
+            raise ValueError(f"{config.store} does not support scans")
+        spec = scaled_spec(config.cluster_spec, config.records_per_node,
+                           config.paper_records_per_node)
+        n_clients = cls.clients_for(config.n_nodes, spec.servers_per_client)
+        self.cluster = Cluster(spec, config.n_nodes, n_clients=n_clients)
+        self.schema = APM_SCHEMA
+        self.store = _build_store(config, self.cluster, self.schema)
+        if config.overload is not None:
+            self.store.configure_overload(config.overload)
+        total_records = config.records_per_node * config.n_nodes
+        self.store.load(generate_records(total_records, self.schema))
+        self.store.warm_caches()
+
+        self.sim = self.cluster.sim
+        self.sequence = KeySequence(total_records)
+        rngs = RngRegistry(config.seed)
+        self._op_rng = rngs.stream("openloop-ops")
+        self.chooser = make_chooser(config.workload.distribution,
+                                    total_records, self.sequence,
+                                    rngs.stream("openloop-keys"))
+        n_connections = self.store.connections(spec.connections_per_node)
+        self.sessions = [
+            self.store.session(self.cluster.client_for_connection(i), i)
+            for i in range(n_connections)
+        ]
+        self.retry = (config.retry if config.retry is not None
+                      else self.store.retry_policy())
+        policy = config.overload
+        self.deadline_s = None if policy is None else policy.deadline_s
+        self.budget = self.breaker = None
+        if policy is not None and policy.retry_budget_per_s is not None:
+            from repro.overload.budget import RetryBudget
+
+            self.budget = RetryBudget(policy.retry_budget_per_s,
+                                      policy.retry_budget_burst)
+        if policy is not None and policy.circuit_breaker:
+            from repro.overload.budget import CircuitBreaker
+
+            self.breaker = CircuitBreaker()
+
+        self._op_table = config.workload.op_table()
+        # Window accounting (arrival-indexed).
+        self.window_arrivals = 0
+        self.in_slo = 0
+        self.succeeded = 0
+        self.error_kinds = {kind: 0 for kind in ERROR_KINDS}
+        self.latency_total = 0.0
+        self.latency_count = 0
+        self.max_queue_depth = 0
+        self._draining = False
+
+    # -- processes -----------------------------------------------------------
+
+    def _queue_depth(self) -> int:
+        depth = self.store.overload_queue_depth()
+        for node in self.cluster.servers:
+            depth += node.cpus.queue_length
+        return int(depth)
+
+    def _monitor(self):
+        while not self._draining:
+            depth = self._queue_depth()
+            if depth > self.max_queue_depth:
+                self.max_queue_depth = depth
+            yield self.sim.timeout(self.queue_sample_s)
+
+    def _draw(self):
+        """Draw one operation and its arguments, in arrival order."""
+        roll = self._op_rng.random()
+        op = self._op_table[-1][0]
+        for candidate, threshold in self._op_table:
+            if roll <= threshold:
+                op = candidate
+                break
+        fields = None
+        scan_length = 0
+        if op is OpType.INSERT:
+            record = generate_record(self.sequence.take(), self.schema)
+            key, fields = record.key, record.fields
+        elif op is OpType.UPDATE:
+            record = generate_record(self.chooser.next_record_number(),
+                                     self.schema)
+            key, fields = record.key, record.fields
+        else:
+            key = generate_record(self.chooser.next_record_number(),
+                                  self.schema).key
+            if op is OpType.SCAN:
+                scan_length = self.config.workload.scan_length
+        return op, key, fields, scan_length
+
+    def _one_op(self, index: int, measured: bool, op, key, fields,
+                scan_length):
+        sim = self.sim
+        session = self.sessions[index % len(self.sessions)]
+        arrival = sim.now
+        if self.deadline_s is not None:
+            sim.deadline = arrival + self.deadline_s
+        try:
+            error, kind = yield from attempt_op(
+                session, op, key, fields, scan_length, self.retry,
+                deadline=(None if self.deadline_s is None
+                          else arrival + self.deadline_s),
+                budget=self.budget, breaker=self.breaker,
+            )
+        finally:
+            sim.deadline = None
+        if not measured:
+            return
+        latency = sim.now - arrival
+        self.latency_total += latency
+        self.latency_count += 1
+        if error:
+            self.error_kinds[kind or "store"] += 1
+        else:
+            self.succeeded += 1
+            if latency <= self.slo_s:
+                self.in_slo += 1
+
+    def _arrivals(self):
+        interval = 1.0 / self.offered_rate
+        total = int(round((self.warmup_s + self.duration_s)
+                          * self.offered_rate))
+        window_start = self.warmup_s
+        procs = []
+        for i in range(total):
+            arrival = self.sim.now
+            measured = arrival >= window_start
+            if measured:
+                self.window_arrivals += 1
+            op, key, fields, scan_length = self._draw()
+            procs.append(self.sim.process(
+                self._one_op(i, measured, op, key, fields, scan_length),
+                name=f"open-op-{i}"))
+            yield self.sim.timeout(interval)
+        # Let every in-flight operation drain before the run ends.
+        yield self.sim.all_of(procs)
+        self._draining = True
+
+    def run(self) -> OverloadPoint:
+        self.sim.process(self._monitor(), name="queue-monitor")
+        driver = self.sim.process(self._arrivals(), name="open-arrivals")
+        self.sim.run(until=driver)
+        config = self.config
+        mean_latency = (self.latency_total / self.latency_count
+                        if self.latency_count else 0.0)
+        return OverloadPoint(
+            store=config.store,
+            workload=config.workload.name,
+            n_nodes=config.n_nodes,
+            protected=config.overload is not None,
+            offered_rate=self.offered_rate,
+            duration_s=self.duration_s,
+            slo_s=self.slo_s,
+            arrivals=self.window_arrivals,
+            in_slo=self.in_slo,
+            succeeded=self.succeeded,
+            error_kinds={k: v for k, v in self.error_kinds.items() if v},
+            goodput=self.in_slo / self.duration_s,
+            mean_latency_s=mean_latency,
+            max_queue_depth=self.max_queue_depth,
+            shed=self.store.total_shed(),
+        )
+
+
+def run_overload_point(config: BenchmarkConfig, offered_rate: float, *,
+                       duration_s: float = 3.0, warmup_s: float = 0.5,
+                       slo_s: Optional[float] = None,
+                       queue_sample_s: float = 0.02) -> OverloadPoint:
+    """Drive ``config``'s store open-loop at ``offered_rate`` ops/s.
+
+    Arrivals are spaced exactly ``1 / offered_rate`` apart; each
+    operation runs as its own process (with the configured overload
+    protections, when ``config.overload`` is set) whether or not earlier
+    operations have finished — offered load does not yield to
+    congestion, unlike the closed-loop harness.  Goodput counts
+    successes completing within ``slo_s`` among post-warmup arrivals.
+    """
+    if slo_s is None:
+        slo_s = (config.overload.deadline_s
+                 if config.overload is not None
+                 and config.overload.deadline_s is not None
+                 else DEFAULT_SLO_S)
+    run = _OpenLoopRun(config, offered_rate, duration_s, warmup_s, slo_s,
+                       queue_sample_s)
+    return run.run()
+
+
+def _refine_capacity(config: BenchmarkConfig, start_rate: float, *,
+                     duration_s: float = 0.3, warmup_s: float = 0.1,
+                     max_doublings: int = 5) -> float:
+    """Open-loop goodput capacity, by doubling probes until saturation.
+
+    The closed-loop estimate undershoots for stores whose client library
+    caps concurrency (Voldemort's 4-connection pool, HBase's buffering
+    clients): their closed-loop throughput is concurrency-bound, not
+    capacity-bound.  Probing open-loop — doubling the offered rate until
+    goodput falls behind it — measures what the servers can actually
+    serve within the SLO.
+    """
+    rate = max(1.0, start_rate)
+    achieved = 0.0
+    for _ in range(max_doublings + 1):
+        point = run_overload_point(config, rate, duration_s=duration_s,
+                                   warmup_s=warmup_s)
+        achieved = point.goodput
+        if achieved < 0.9 * rate:
+            break
+        rate *= 2
+    return max(achieved, 1.0)
+
+
+def find_saturation(config: BenchmarkConfig, *, cache=None,
+                    use_sustained: bool = True,
+                    refine: bool = True) -> SaturationEstimate:
+    """Peak sustainable throughput for ``config``.
+
+    Runs the closed-loop benchmark without overload protections; with
+    ``use_sustained`` the run carries telemetry and the estimate is the
+    sustained-throughput floor from ``repro.metrics`` (the rate the
+    cluster holds across sub-windows, not just the average), otherwise
+    the plain measured throughput.  With ``refine`` (and an overload
+    policy on the config) the closed-loop estimate seeds open-loop
+    doubling probes that measure true service capacity — see
+    :func:`_refine_capacity`.  ``cache`` is an optional
+    :class:`~repro.analysis.cache.ResultCache`.
+    """
+    probe = replace(config, overload=None, target_throughput=None)
+    if use_sustained and probe.metrics_interval_s is None:
+        probe = replace(probe, metrics_interval_s=0.05)
+    if cache is not None:
+        result = cache.get(probe)
+    else:
+        result = run_benchmark(probe.store, probe.workload, probe.n_nodes,
+                               config=probe)
+    floor = peak = None
+    sustained = None if result.metrics is None else result.metrics.sustained
+    if sustained is not None:
+        floor, peak = sustained.floor, sustained.peak
+    rate = floor if floor else result.throughput_ops
+    open_loop = None
+    if refine and config.overload is not None:
+        open_loop = _refine_capacity(config, rate)
+        rate = open_loop
+    return SaturationEstimate(rate=rate, throughput=result.throughput_ops,
+                              floor=floor, peak=peak, open_loop=open_loop)
+
+
+def goodput_sweep(config: BenchmarkConfig, *,
+                  multipliers=(0.5, 1.0, 1.5, 2.0),
+                  duration_s: float = 3.0, warmup_s: float = 0.5,
+                  cache=None, use_sustained: bool = True,
+                  include_unprotected: bool = True) -> OverloadSweep:
+    """Sweep offered load across ``multipliers`` x the saturation rate.
+
+    ``config.overload`` must be set: each multiplier runs once with the
+    policy (protected) and — unless ``include_unprotected`` is false —
+    once with ``overload=None`` (the congestion-collapse baseline).
+    """
+    if config.overload is None:
+        raise ValueError("goodput_sweep needs config.overload set; "
+                         "the unprotected baseline is derived from it")
+    saturation = find_saturation(config, cache=cache,
+                                 use_sustained=use_sustained)
+    sweep = OverloadSweep(config=config, saturation=saturation,
+                          multipliers=tuple(multipliers))
+    for multiplier in sweep.multipliers:
+        rate = max(1.0, multiplier * saturation.rate)
+        sweep.protected.append(run_overload_point(
+            config, rate, duration_s=duration_s, warmup_s=warmup_s))
+        if include_unprotected:
+            bare = replace(config, overload=None)
+            sweep.unprotected.append(run_overload_point(
+                bare, rate, duration_s=duration_s, warmup_s=warmup_s,
+                slo_s=(config.overload.deadline_s or DEFAULT_SLO_S)))
+    return sweep

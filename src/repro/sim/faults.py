@@ -11,9 +11,23 @@ Stores and the YCSB client treat every :class:`FaultError` as a
 *retryable* infrastructure failure, distinct from
 :class:`repro.stores.base.OpError` (a store-level semantic failure such
 as Redis running out of memory, which retrying cannot fix).
+
+Two overload-era conditions extend the taxonomy:
+
+* :class:`OverloadError` — a *deterministic* admission-control rejection
+  (bounded queue full, connection pool exhausted, coordinator shedding).
+  It is retryable, but only against the client's retry *budget*: blind
+  retries of shed requests are exactly the amplification admission
+  control exists to prevent.
+* :class:`DeadlineExceededError` — the request's deadline passed while
+  it waited or executed.  Deliberately **not** a :class:`FaultError`:
+  a request that is already late cannot be fixed by retrying, so the
+  client counts it as expired and moves on.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 __all__ = [
     "FaultError",
@@ -21,11 +35,22 @@ __all__ = [
     "PartitionedError",
     "ResourceDrainedError",
     "UnavailableError",
+    "OverloadError",
+    "DeadlineExceededError",
 ]
 
 
 class FaultError(Exception):
-    """Base class for injected-fault failures (retryable by clients)."""
+    """Base class for injected-fault failures (retryable by clients).
+
+    ``node`` optionally names the node involved in the failure so the
+    client-side circuit breaker can stop retrying against a node the
+    chaos controller has marked down.
+    """
+
+    def __init__(self, *args: object, node: Optional[str] = None):
+        super().__init__(*args)
+        self.node = node
 
 
 class NodeDownError(FaultError):
@@ -42,3 +67,24 @@ class ResourceDrainedError(FaultError):
 
 class UnavailableError(FaultError):
     """Too few live replicas to satisfy the requested consistency level."""
+
+
+class OverloadError(FaultError):
+    """Deterministic admission-control rejection (queue full / load shed).
+
+    Raised by bounded :class:`~repro.sim.resources.Resource` queues,
+    store-executor channels, and per-store admission gates when a new
+    request would exceed the configured ``max_queue``.  Retryable with
+    budget: the YCSB client only retries it while its
+    :class:`~repro.overload.budget.RetryBudget` has tokens.
+    """
+
+
+class DeadlineExceededError(Exception):
+    """The request's deadline passed before the work could complete.
+
+    Not a :class:`FaultError`: the client never retries an expired
+    request.  Raised at the deadline check-sites (resource entry and
+    grant, network send, store-executor channels) so the stack abandons
+    dead work instead of burning simulated resources on it.
+    """

@@ -21,6 +21,12 @@ Design notes
   the context active at spawn time and swaps it in around every resume,
   so logically-concurrent processes each see their own context exactly
   like thread-locals under a real scheduler.
+* A second per-process slot, ``deadline``, carries the active request's
+  absolute deadline through the same inherit-and-swap mechanism.  The
+  resource/network layers consult :meth:`Simulator.deadline_exceeded` to
+  abandon work whose deadline already passed; :meth:`Simulator.detached`
+  spawns background server work (flushes, compactions, hint replay) with
+  the deadline cleared so it outlives the request that triggered it.
 """
 
 from __future__ import annotations
@@ -140,7 +146,7 @@ class Process(Event):
     event itself — succeeds with the generator's return value.
     """
 
-    __slots__ = ("generator", "name", "context", "_waiting_on")
+    __slots__ = ("generator", "name", "context", "deadline", "_waiting_on")
 
     def __init__(
         self,
@@ -156,6 +162,7 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self.context: Any = sim.context
+        self.deadline: Optional[float] = sim.deadline
         self._waiting_on: Optional[Event] = None
         # Bootstrap: resume on the next kernel step at the current time.
         initial = Event(sim)
@@ -171,7 +178,9 @@ class Process(Event):
         self._waiting_on = None
         sim = self.sim
         prev_context = sim.context
+        prev_deadline = sim.deadline
         sim.context = self.context
+        sim.deadline = self.deadline
         try:
             try:
                 if event.ok:
@@ -196,10 +205,13 @@ class Process(Event):
                     self.fail(err)
                 return
         finally:
-            # Capture context mutations made by the generator (span pushes
-            # and pops) and restore whatever was active before the resume.
+            # Capture context/deadline mutations made by the generator (span
+            # pushes and pops, deadline stamps) and restore whatever was
+            # active before the resume.
             self.context = sim.context
+            self.deadline = sim.deadline
             sim.context = prev_context
+            sim.deadline = prev_deadline
         if target.processed:
             # The event already fired; resume immediately at the current time.
             bounce = Event(self.sim)
@@ -330,6 +342,9 @@ class Simulator:
         self._sequence = 0
         #: Opaque per-process context (the active trace span, when tracing).
         self.context: Any = None
+        #: Absolute deadline of the active request, or ``None``.  Inherited
+        #: and swapped per process exactly like :attr:`context`.
+        self.deadline: Optional[float] = None
         #: The attached ``repro.trace.Tracer``, or ``None`` when not tracing.
         self.tracer: Any = None
 
@@ -355,6 +370,30 @@ class Simulator:
     ) -> Process:
         """Start a new process from ``generator``."""
         return Process(self, generator, name=name)
+
+    def detached(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> Process:
+        """Start a process that does NOT inherit the active deadline.
+
+        Background server work triggered by a request (commit-log syncs,
+        memtable flushes, hint replay, WAL appends) must outlive the
+        request's deadline; trace context still propagates so latency
+        attribution is unchanged.
+        """
+        saved = self.deadline
+        self.deadline = None
+        try:
+            return Process(self, generator, name=name)
+        finally:
+            self.deadline = saved
+
+    def deadline_exceeded(self) -> bool:
+        """Whether the active request's deadline has already passed."""
+        deadline = self.deadline
+        return deadline is not None and self._now >= deadline
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event succeeding once every event in ``events`` has succeeded."""

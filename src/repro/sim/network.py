@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.sim.faults import NodeDownError, PartitionedError
+from repro.sim.faults import (DeadlineExceededError, NodeDownError,
+                              PartitionedError)
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
 
@@ -67,6 +68,8 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_failed = 0
+        #: Sends abandoned because the request's deadline had passed.
+        self.messages_expired = 0
 
     def attach(self, node_name: str) -> None:
         """Register a node's NIC queues with the switch."""
@@ -153,22 +156,29 @@ class Network:
             tracer.end_span(outer)
 
     def _transfer(self, src: str, dst: str, nbytes: int):
+        if self.sim.deadline_exceeded():
+            # A request that is already late never reaches the wire.
+            self.messages_expired += 1
+            raise DeadlineExceededError(
+                f"deadline passed before send {src} -> {dst}")
         self.messages_sent += 1
         self.bytes_sent += nbytes
         if src in self._down:
             self.messages_failed += 1
-            raise NodeDownError(f"{src} is down")
+            raise NodeDownError(f"{src} is down", node=src)
         if src == dst:
             yield self.sim.timeout(5e-6)
             return
         if not self.reachable(src, dst):
             self.messages_failed += 1
             yield self.sim.timeout(self.spec.unreachable_timeout_s)
-            raise PartitionedError(f"{src} cannot reach {dst} (partition)")
+            raise PartitionedError(
+                f"{src} cannot reach {dst} (partition)", node=dst)
         if dst in self._down:
             self.messages_failed += 1
             yield self.sim.timeout(2 * self.spec.latency_s)  # SYN + RST
-            raise NodeDownError(f"connection refused: {dst} is down")
+            raise NodeDownError(
+                f"connection refused: {dst} is down", node=dst)
         wire = self.spec.wire_time(nbytes)
         yield self.sim.process(self._egress[src].use(wire))
         yield self.sim.timeout(self.spec.latency_s)

@@ -6,6 +6,17 @@ resource.request()`` to obtain a slot and must call ``resource.release(req)``
 when done.  Utilisation and queueing statistics are tracked so benchmarks
 can report on saturation, which is what the paper's "maximum sustainable
 throughput" methodology probes.
+
+Past saturation two overload mechanisms bound behaviour:
+
+* ``max_queue`` turns the unbounded FIFO into a bounded one — a request
+  arriving at a full queue is rejected deterministically with
+  :class:`~repro.sim.faults.OverloadError` (counted in
+  :attr:`ResourceStats.rejected`).
+* :meth:`use` consults the kernel's per-request deadline slot on entry
+  and again when the slot is granted, abandoning work whose deadline has
+  already passed (:attr:`ResourceStats.expired`) instead of holding the
+  station for a dead request.
 """
 
 from __future__ import annotations
@@ -14,7 +25,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.sim.faults import ResourceDrainedError
+from repro.sim.faults import (DeadlineExceededError, OverloadError,
+                              ResourceDrainedError)
 from repro.sim.kernel import Event, SimulationError, Simulator
 
 __all__ = ["Request", "Resource", "ResourceStats"]
@@ -29,6 +41,16 @@ class ResourceStats:
     total_service_time: float = 0.0
     busy_time: float = 0.0
     peak_queue_length: int = 0
+    #: Requests refused because the bounded queue was full.
+    rejected: int = 0
+    #: Holds abandoned because the request's deadline had passed.
+    expired: int = 0
+    #: Restart counter: bumps when a crashed station is restored.
+    generation: int = 0
+    #: ``peak_queue_length`` of each completed generation (pre-crash peaks
+    #: are archived here on restore so post-recovery saturation analysis
+    #: is not polluted by them).
+    generation_peaks: list[int] = field(default_factory=list)
     _last_change: float = 0.0
     _area_in_use: float = field(default=0.0, repr=False)
 
@@ -40,6 +62,12 @@ class ResourceStats:
     def mean_in_use(self, now: float) -> float:
         """Time-averaged number of busy slots up to ``now``."""
         return self._area_in_use / now if now > 0 else 0.0
+
+    def roll_generation(self) -> None:
+        """Archive the live queue peak and start a fresh generation."""
+        self.generation_peaks.append(self.peak_queue_length)
+        self.peak_queue_length = 0
+        self.generation += 1
 
 
 class Request(Event):
@@ -58,15 +86,22 @@ class Resource:
     """A FIFO multi-server resource."""
 
     def __init__(self, sim: Simulator, capacity: int = 1,
-                 name: str = "resource", component: str = "resource"):
+                 name: str = "resource", component: str = "resource",
+                 max_queue: Optional[int] = None):
         if capacity < 1:
             raise SimulationError(
                 f"resource capacity must be >= 1, got {capacity}")
+        if max_queue is not None and max_queue < 0:
+            raise SimulationError(
+                f"max_queue must be >= 0, got {max_queue}")
         self.sim = sim
         self.capacity = capacity
         self.name = name
         #: Attribution bucket for traced holds (see ``repro.trace``).
         self.component = component
+        #: Queue bound; ``None`` means unbounded.  Mutable so
+        #: ``Store.configure_overload`` can arm it post-construction.
+        self.max_queue = max_queue
         self.stats = ResourceStats()
         self._in_use = 0
         self._queue: deque[Request] = deque()
@@ -121,6 +156,8 @@ class Resource:
 
         On a crashed node the claim fails immediately with
         :class:`ResourceDrainedError` — the station no longer serves.
+        With a bounded queue (``max_queue``), a claim arriving at a full
+        queue fails with :class:`OverloadError` instead of growing it.
         """
         req = Request(self)
         self.stats.requests += 1
@@ -128,6 +165,12 @@ class Resource:
             req.fail(ResourceDrainedError(f"{self.name} is down"))
         elif self._in_use < self.capacity:
             self._grant(req)
+        elif (self.max_queue is not None
+                and len(self._queue) >= self.max_queue):
+            self.stats.rejected += 1
+            req.fail(OverloadError(
+                f"{self.name} queue full "
+                f"({len(self._queue)} >= {self.max_queue})"))
         else:
             self._queue.append(req)
             if len(self._queue) > self.stats.peak_queue_length:
@@ -169,8 +212,17 @@ class Resource:
             req.fail(ResourceDrainedError(f"{self.name} went down"))
 
     def restore(self) -> None:
-        """Bring a crashed station back into service (node restart)."""
+        """Bring a crashed station back into service (node restart).
+
+        Queue statistics roll over to a fresh generation: the pre-crash
+        ``peak_queue_length`` is archived in
+        :attr:`ResourceStats.generation_peaks` so saturation analysis of
+        the recovered station starts from a clean peak.
+        """
+        if not self._down:
+            return
         self._down = False
+        self.stats.roll_generation()
 
     def use(self, duration: float):
         """Convenience process: acquire a slot, hold it for ``duration``.
@@ -183,12 +235,27 @@ class Resource:
         resource, bucketed under :attr:`component`) with a ``wait`` child
         covering any time spent queued for the slot; untraced holds take
         the span-free fast path.
+
+        The active request deadline (``sim.deadline``) is checked on
+        entry and again once the slot is granted: an expired request
+        releases the slot without holding it and raises
+        :class:`DeadlineExceededError`, so a dead request cannot burn
+        station time.
         """
         sim = self.sim
+        if sim.deadline_exceeded():
+            self.stats.expired += 1
+            raise DeadlineExceededError(
+                f"{self.name}: deadline passed before enqueue")
         tracer = sim.tracer
         if tracer is None or sim.context is None:
             req = self.request()
             yield req
+            if sim.deadline_exceeded():
+                self.release(req)
+                self.stats.expired += 1
+                raise DeadlineExceededError(
+                    f"{self.name}: deadline passed while queued")
             try:
                 yield sim.timeout(duration)
             finally:
@@ -205,6 +272,11 @@ class Resource:
                     tracer.end_span(wait)
             else:
                 yield req
+            if sim.deadline_exceeded():
+                self.release(req)
+                self.stats.expired += 1
+                raise DeadlineExceededError(
+                    f"{self.name}: deadline passed while queued")
             try:
                 yield sim.timeout(duration)
             finally:

@@ -56,16 +56,23 @@ class RetryPolicy:
     max_attempts: int = 2
     backoff_s: float = 0.02
     backoff_multiplier: float = 2.0
+    #: Ceiling on any single backoff sleep: without it a deep
+    #: ``max_attempts`` grows the exponential into multi-minute
+    #: simulated stalls that dwarf every real timescale in the model.
+    backoff_cap_s: float = 1.0
 
     def __post_init__(self):
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_s < 0:
             raise ValueError("backoff_s must be >= 0")
+        if self.backoff_cap_s < 0:
+            raise ValueError("backoff_cap_s must be >= 0")
 
     def backoff_for(self, attempt: int) -> float:
         """Sleep before retry number ``attempt`` (1 = first retry)."""
-        return self.backoff_s * self.backoff_multiplier ** (attempt - 1)
+        raw = self.backoff_s * self.backoff_multiplier ** (attempt - 1)
+        return min(raw, self.backoff_cap_s)
 
 
 @dataclass(frozen=True)
@@ -196,6 +203,16 @@ class Store:
         #: ``None`` is the disabled fast path — op application only pays
         #: one identity check per server-side op when metrics are off.
         self._node_ops = None
+        #: Active :class:`~repro.overload.policy.OverloadPolicy`, or
+        #: ``None`` (the default: unbounded queues, no shedding).
+        self.overload = None
+        #: Requests shed by store-level admission logic (e.g. the
+        #: Cassandra coordinator); channel/gate rejections are counted
+        #: on the channels and gates themselves.
+        self.shed_ops = 0
+        #: Connection-pool gates, populated by stores that admission-
+        #: control at the client driver (MySQL, Voldemort).
+        self._gates: list = []
 
     # -- metrics ---------------------------------------------------------------
 
@@ -217,6 +234,11 @@ class Store:
                              store=self.name)
             for node in self.cluster.servers
         ]
+        registry.meter("store_shed_total",
+                       lambda: float(self.total_shed()), store=self.name)
+        registry.probe("store_overload_queue_depth",
+                       lambda: float(self.overload_queue_depth()),
+                       store=self.name)
 
     def note_node_op(self, node_index: int) -> None:
         """Count one server-side op on server ``node_index``.
@@ -252,6 +274,46 @@ class Store:
         Cluster D).  Stores with on-disk structures override this to
         mark their blocks resident; in-memory stores need nothing.
         """
+
+    # -- overload / admission control ------------------------------------------
+
+    def overload_channels(self):
+        """The store-executor :class:`Resource` channels, if any.
+
+        These are the queues ``configure_overload`` bounds (Redis event
+        loops, VoltDB sites + sequencer, HBase handler pools).  Stores
+        without an executor channel return the default empty list and
+        admission-control at the connection pool instead.
+        """
+        return []
+
+    def admission_gates(self):
+        """The active connection-pool gates (empty unless configured)."""
+        return self._gates
+
+    def configure_overload(self, policy) -> None:
+        """Arm this deployment's admission control from ``policy``.
+
+        The base behaviour bounds every executor channel's queue at
+        ``policy.max_queue``; stores with other natural admission points
+        (the Cassandra coordinator, the MySQL/Voldemort connection
+        pools) extend this.  Passing ``None`` disarms everything.
+        """
+        self.overload = policy
+        bound = None if policy is None else policy.max_queue
+        for channel in self.overload_channels():
+            channel.max_queue = bound
+
+    def total_shed(self) -> int:
+        """Requests rejected by admission control, across all layers."""
+        shed = self.shed_ops
+        shed += sum(ch.stats.rejected for ch in self.overload_channels())
+        shed += sum(gate.rejected for gate in self._gates)
+        return shed
+
+    def overload_queue_depth(self) -> int:
+        """Instantaneous depth of the admission-controlled queues."""
+        return sum(ch.queue_length for ch in self.overload_channels())
 
     # -- fault handling --------------------------------------------------------
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Optional
 
 from repro.sim.cluster import Cluster, Node
-from repro.sim.faults import UnavailableError
+from repro.sim.faults import OverloadError, UnavailableError
 from repro.storage.lsm import LSMConfig, LSMEngine
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
 from repro.stores.base import (
@@ -216,7 +216,7 @@ class CassandraStore(Store):
                             + bill.compaction_io_bytes)
             self.hints_replayed += 1
         if flush_bytes:
-            self.sim.process(
+            self.sim.detached(
                 self._background_io(node, int(flush_bytes
                                               * self.compression_ratio)),
                 name="hint-replay",
@@ -238,8 +238,26 @@ class CassandraStore(Store):
         """Flush/compaction IO contends with foreground ops on the disk."""
         yield from node.disk.write(nbytes, sequential=True, sync=True)
 
+    def _maybe_shed(self, owner: int) -> None:
+        """Load shedding at the replica: reject when the queue is deep.
+
+        Cassandra's StorageProxy drops mutations whose replica stage
+        backlog exceeds its bound; the model sheds at the owner node's
+        CPU queue, the stage where replica work serialises.
+        """
+        policy = self.overload
+        if policy is None or policy.max_queue is None:
+            return
+        queue = self.cluster.servers[owner].cpus.queue_length
+        if queue >= policy.max_queue:
+            self.shed_ops += 1
+            raise OverloadError(
+                f"cassandra-{owner} replica queue full "
+                f"({queue} >= {policy.max_queue})")
+
     def _apply_write(self, owner: int, key: str,
                      fields: Mapping[str, str]):
+        self._maybe_shed(owner)
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         write_cpu = self.profile.write_cpu
@@ -254,7 +272,7 @@ class CassandraStore(Store):
                                            sequential=True, sync=True)
             else:
                 # commitlog_sync: periodic — the write does not wait.
-                self.sim.process(
+                self.sim.detached(
                     self._background_io(node, bill.wal_sync_bytes),
                     name="commitlog-sync",
                 )
@@ -263,12 +281,13 @@ class CassandraStore(Store):
             * self.compression_ratio
         )
         if background:
-            self.sim.process(
+            self.sim.detached(
                 self._background_io(node, background), name="flush"
             )
         return True
 
     def _apply_read(self, owner: int, key: str):
+        self._maybe_shed(owner)
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         read_cpu = self.profile.read_cpu
@@ -280,6 +299,7 @@ class CassandraStore(Store):
         return result.fields
 
     def _apply_scan(self, owner: int, start_key: str, count: int):
+        self._maybe_shed(owner)
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.server_cost(

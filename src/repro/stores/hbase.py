@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.sim.cluster import Cluster, Node
+from repro.sim.faults import DeadlineExceededError
 from repro.sim.resources import Resource
 from repro.storage.lsm import LSMConfig, LSMEngine
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
@@ -187,6 +188,15 @@ class HBaseStore(Store):
         """The region server currently hosting ``region_id``."""
         return self.region_servers[self._assignment[region_id]]
 
+    def overload_channels(self):
+        """Admission control caps each region server's handler queue.
+
+        This is the ``hbase.ipc.server.max.callqueue`` analogue: a call
+        arriving at a full handler call-queue gets an immediate
+        "server too busy" rejection instead of queueing unboundedly.
+        """
+        return [server.handlers for server in self.region_servers]
+
     #: Sim-seconds before the master declares a region server dead and
     #: reassigns its regions (ZooKeeper session timeout, compressed to
     #: the simulation's scaled-down time base).
@@ -292,13 +302,18 @@ class HBaseStore(Store):
         HBase's read latencies under load, made visible.
         """
         sim = self.sim
+        handlers = server.handlers
+        if sim.deadline_exceeded():
+            handlers.stats.expired += 1
+            raise DeadlineExceededError(
+                f"{handlers.name}: deadline passed before enqueue")
         traced = sim.tracer is not None and sim.context is not None
         if traced:
             span = sim.tracer.start_span(
                 f"handler:{server.node.name}", "store",
-                {"handlers": server.handlers.capacity})
+                {"handlers": handlers.capacity})
         try:
-            request = server.handlers.request()
+            request = handlers.request()
             if traced and not request.triggered:
                 wait = sim.tracer.start_span("wait", "queue")
                 try:
@@ -307,25 +322,34 @@ class HBaseStore(Store):
                     sim.tracer.end_span(wait)
             else:
                 yield request
+            if sim.deadline_exceeded():
+                handlers.release(request)
+                handlers.stats.expired += 1
+                raise DeadlineExceededError(
+                    f"{handlers.name}: deadline passed while queued")
             try:
                 result = yield from body
                 return result
             finally:
-                server.handlers.release(request)
+                handlers.release(request)
         finally:
             if traced:
                 sim.tracer.end_span(span)
 
     def _persist_bill(self, server: RegionServer, region_id: int, bill):
-        """Apply an engine IoBill through HDFS (async where HBase is)."""
+        """Apply an engine IoBill through HDFS (async where HBase is).
+
+        Spawned detached: background persistence belongs to the server,
+        not the triggering request, so it must outlive its deadline.
+        """
         sim = self.sim
         if bill.wal_sync_bytes:
-            sim.process(self.hdfs.append(
+            sim.detached(self.hdfs.append(
                 server.wal_path, bill.wal_sync_bytes, server.node,
                 sync=True), name="hbase-wal")
         flush_bytes = bill.flush_write_bytes + bill.compaction_io_bytes
         if flush_bytes:
-            sim.process(self.hdfs.append(
+            sim.detached(self.hdfs.append(
                 self._hfile_paths[region_id], flush_bytes, server.node,
                 sync=True), name="hbase-flush")
 

@@ -29,6 +29,7 @@ import math
 from typing import Iterable, Mapping
 
 from repro.keyspace import lex_position as key_position
+from repro.overload.admission import AdmissionGate
 from repro.sim.cluster import Cluster, Node
 from repro.storage.btree import BPlusTree
 from repro.storage.encoding import MySQLDiskUsage, encode_binlog_event
@@ -115,6 +116,23 @@ class MySQLStore(Store):
     def shard_of(self, key: str) -> int:
         """Shard index for ``key`` via the JDBC consistent-hash ring."""
         return self._index_of[self.ring.shard_for(key)]
+
+    def configure_overload(self, policy) -> None:
+        """Admission control is the JDBC connection pool, per shard.
+
+        MySQL has no executor channel in the model; the natural
+        admission point is the client's connection pool — bounded
+        in-flight requests per server, the (N+1)-th attempt failing
+        immediately like an exhausted pool's ``getConnection``.
+        """
+        super().configure_overload(policy)
+        if policy is not None and policy.max_queue:
+            self._gates = [
+                AdmissionGate(policy.max_queue, f"mysql-pool:{node.name}")
+                for node in self.cluster.servers
+            ]
+        else:
+            self._gates = []
 
     # -- deployment ----------------------------------------------------------
 
@@ -241,11 +259,18 @@ class MySQLSession(StoreSession):
         sim = store.sim
         if sim.tracer is not None and sim.context is not None:
             sim.tracer.annotate(shard=shard)
-        yield from store.client_cpu(self.client)
-        result = yield from store.cluster.network.rpc(
-            self.client, store.cluster.servers[shard],
-            request_bytes, response_bytes, handler,
-        )
+        gate = store._gates[shard] if store._gates else None
+        if gate is not None:
+            gate.try_admit()
+        try:
+            yield from store.client_cpu(self.client)
+            result = yield from store.cluster.network.rpc(
+                self.client, store.cluster.servers[shard],
+                request_bytes, response_bytes, handler,
+            )
+        finally:
+            if gate is not None:
+                gate.release()
         return result
 
     def read(self, key: str):

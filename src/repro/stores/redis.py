@@ -29,6 +29,7 @@ import math
 from typing import Iterable, Mapping
 
 from repro.sim.cluster import Cluster, Node
+from repro.sim.faults import DeadlineExceededError
 from repro.sim.resources import Resource
 from repro.storage.hashstore import HashStore
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
@@ -122,6 +123,15 @@ class RedisStore(Store):
         """Shard index for ``key`` via the Jedis ring."""
         return self._index_of[self.ring.shard_for(key)]
 
+    def overload_channels(self):
+        """Admission control bounds each instance's event-loop queue.
+
+        This is Redis's real knob (``maxclients`` / kernel backlog): a
+        command arriving at a full loop queue is refused at once instead
+        of growing an unbounded backlog behind the single thread.
+        """
+        return self.event_loops
+
     # -- deployment ----------------------------------------------------------
 
     def load(self, records: Iterable[Record]) -> None:
@@ -146,10 +156,14 @@ class RedisStore(Store):
         under tracing the hold emits a span with a ``wait`` child for
         time spent queued behind other commands.
         """
-        self.note_node_op(shard_index)
         node = self.cluster.servers[shard_index]
         loop = self.event_loops[shard_index]
         sim = self.sim
+        if sim.deadline_exceeded():
+            loop.stats.expired += 1
+            raise DeadlineExceededError(
+                f"{loop.name}: deadline passed before enqueue")
+        self.note_node_op(shard_index)
         traced = sim.tracer is not None and sim.context is not None
         if traced:
             span = sim.tracer.start_span(loop.name, "cpu",
@@ -164,6 +178,11 @@ class RedisStore(Store):
                     sim.tracer.end_span(wait)
             else:
                 yield request
+            if sim.deadline_exceeded():
+                loop.release(request)
+                loop.stats.expired += 1
+                raise DeadlineExceededError(
+                    f"{loop.name}: deadline passed while queued")
             try:
                 yield sim.timeout(cpu_seconds / node.spec.core_speed)
                 return action() if action is not None else None

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.hashing import murmur64a
+from repro.overload.admission import AdmissionGate
 from repro.sim.cluster import Cluster, Node
 from repro.storage.btree import BPlusTree
 from repro.storage.encoding import encode_bdb_entry
@@ -98,6 +99,23 @@ class VoldemortStore(Store):
         return min(default_per_node,
                    self.CONNECTIONS_PER_NODE) * self.cluster.n_servers
 
+    def configure_overload(self, policy) -> None:
+        """Admission control is the client connection pool, per node.
+
+        Voldemort's client library caps in-flight requests per storage
+        node; when the pool is exhausted a checkout fails immediately
+        rather than queueing behind the socket.
+        """
+        super().configure_overload(policy)
+        if policy is not None and policy.max_queue:
+            self._gates = [
+                AdmissionGate(policy.max_queue,
+                              f"voldemort-pool:{node.name}")
+                for node in self.cluster.servers
+            ]
+        else:
+            self._gates = []
+
     def owner_of(self, key: str) -> int:
         """Node index owning ``key`` (partition -> node, round-robin)."""
         partition = self.ring.owner_of(key)
@@ -153,16 +171,17 @@ class VoldemortStore(Store):
         if murmur64a(key.encode("utf-8"),
                      seed=0xFA17) % 100 < self.WRITE_LEAF_FAULT_PERCENT:
             leaf = self._leaf_block(owner, path.page_ids[-1])
-            self.sim.process(self.cached_read_io(node, [leaf]),
-                             name="je-leaf-fault")
+            self.sim.detached(self.cached_read_io(node, [leaf]),
+                              name="je-leaf-fault")
         self.log_bytes[owner] += self._entry_bytes
         # JE appends the log entry with WRITE_NO_SYNC: buffered, drained
         # by the log flusher without stalling the commit.
         yield from node.disk.write(self._entry_bytes, sequential=True,
                                    sync=False)
-        # Cleaner/checkpointer work happens off the commit path.
-        self.sim.process(node.cpu(self.BACKGROUND_WRITE_CPU),
-                         name="je-cleaner")
+        # Cleaner/checkpointer work happens off the commit path and must
+        # outlive the request's deadline.
+        self.sim.detached(node.cpu(self.BACKGROUND_WRITE_CPU),
+                          name="je-cleaner")
         return True
 
     def _apply_delete(self, owner: int, key: str):
@@ -184,11 +203,18 @@ class VoldemortSession(StoreSession):
         sim = store.sim
         if sim.tracer is not None and sim.context is not None:
             sim.tracer.annotate(owner=owner)
-        yield from store.client_cpu(self.client)
-        result = yield from store.cluster.network.rpc(
-            self.client, store.cluster.servers[owner],
-            request_bytes, response_bytes, handler,
-        )
+        gate = store._gates[owner] if store._gates else None
+        if gate is not None:
+            gate.try_admit()
+        try:
+            yield from store.client_cpu(self.client)
+            result = yield from store.cluster.network.rpc(
+                self.client, store.cluster.servers[owner],
+                request_bytes, response_bytes, handler,
+            )
+        finally:
+            if gate is not None:
+                gate.release()
         return result
 
     def read(self, key: str):

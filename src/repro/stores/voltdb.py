@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.sim.cluster import Cluster, Node
+from repro.sim.faults import DeadlineExceededError
 from repro.sim.resources import Resource
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
 from repro.storage.skiplist import SkipList
@@ -122,6 +123,15 @@ class VoltDBStore(Store):
         """Host index owning ``partition``."""
         return partition // self.SITES_PER_HOST
 
+    def overload_channels(self):
+        """Admission control bounds each site queue and the sequencer.
+
+        VoltDB's real analogue is the site transaction-queue limit: a
+        procedure arriving at a full site backlog is rejected instead of
+        deepening the serial executor's queue.
+        """
+        return [*self.sites, self.sequencer]
+
     # -- deployment ----------------------------------------------------------
 
     def load(self, records: Iterable[Record]) -> None:
@@ -157,10 +167,14 @@ class VoltDBStore(Store):
         time spent queued behind the partition's serial executor.
         """
         owner = self.node_of_partition(partition)
-        self.note_node_op(owner)
         node = self.cluster.servers[owner]
         site = self.sites[partition]
         sim = self.sim
+        if sim.deadline_exceeded():
+            site.stats.expired += 1
+            raise DeadlineExceededError(
+                f"{site.name}: deadline passed before enqueue")
+        self.note_node_op(owner)
         traced = sim.tracer is not None and sim.context is not None
         if traced:
             span = sim.tracer.start_span(site.name, "cpu",
@@ -175,6 +189,11 @@ class VoltDBStore(Store):
                     sim.tracer.end_span(wait)
             else:
                 yield request
+            if sim.deadline_exceeded():
+                site.release(request)
+                site.stats.expired += 1
+                raise DeadlineExceededError(
+                    f"{site.name}: deadline passed while queued")
             try:
                 yield sim.timeout(cpu_seconds / node.spec.core_speed)
                 return action()

@@ -4,14 +4,22 @@ Each thread models one YCSB worker: it owns a store connection, draws
 operations from the workload mix, executes them synchronously, and
 records latencies.  Threads run "as intensively as possible" (Section 3)
 unless a :class:`~repro.ycsb.throttle.Throttle` bounds the offered load.
+
+With an overload policy active, each operation additionally carries a
+deadline (stamped into the kernel's per-process ``sim.deadline`` slot so
+the whole stack can abandon late work), and retries are governed by a
+shared retry budget and circuit breaker — see :func:`attempt_op` for the
+exact semantics and error classification.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.sim.faults import FaultError
+from repro.sim.faults import (DeadlineExceededError, FaultError,
+                              OverloadError)
 from repro.storage.record import RecordSchema
 from repro.stores.base import OpError, OpType, RetryPolicy, StoreSession
 from repro.ycsb.generator import KeySequence, generate_record
@@ -19,7 +27,59 @@ from repro.ycsb.stats import RunStats
 from repro.ycsb.throttle import Throttle
 from repro.ycsb.workload import Workload
 
-__all__ = ["RunControl", "ClientThread"]
+__all__ = ["RunControl", "ClientThread", "attempt_op"]
+
+
+def attempt_op(session: StoreSession, op: OpType, key: str, fields,
+               scan_length: int, retry: RetryPolicy, *,
+               deadline: Optional[float] = None, budget=None, breaker=None):
+    """Process body: execute one operation under the full retry policy.
+
+    Returns ``(error, kind)`` where ``kind`` classifies a failure (see
+    :data:`repro.ycsb.stats.ERROR_KINDS`):
+
+    * :class:`OpError` / a ``False`` result → ``"store"``, never retried;
+    * :class:`DeadlineExceededError` → ``"deadline"``, never retried
+      (the op is already late);
+    * :class:`OverloadError` → ``"overload"``; other
+      :class:`FaultError` → ``"fault"``.  Both retry with backoff, but
+      only while attempts remain, the deadline has not passed, the
+      circuit breaker allows the target node, and the retry budget has a
+      token — each gate failing surfaces the triggering error's kind.
+
+    Shared by the closed-loop :class:`ClientThread` and the open-loop
+    overload runner so both report identical semantics.
+    """
+    sim = session.store.sim
+    attempt = 1
+    while True:
+        try:
+            result = yield from session.execute(
+                op, key, fields=fields, scan_length=scan_length
+            )
+            if result is False:
+                return True, "store"
+            return False, None
+        except OpError:
+            # Semantic failure (e.g. Redis OOM): retrying cannot help.
+            return True, "store"
+        except DeadlineExceededError:
+            return True, "deadline"
+        except FaultError as exc:
+            kind = "overload" if isinstance(exc, OverloadError) else "fault"
+            if attempt >= retry.max_attempts:
+                return True, kind
+            if deadline is not None and sim.now >= deadline:
+                return True, "deadline"
+            if breaker is not None and not breaker.allow_retry(exc):
+                return True, kind
+            if budget is not None and not budget.try_spend(sim.now):
+                return True, kind
+            # The driver reconnects with backoff, inside the timed call.
+            backoff = retry.backoff_for(attempt)
+            attempt += 1
+            if backoff > 0:
+                yield sim.timeout(backoff)
 
 
 @dataclass
@@ -57,7 +117,9 @@ class ClientThread:
                  chooser, sequence: KeySequence, stats: RunStats,
                  control: RunControl, rng: random.Random,
                  schema: RecordSchema, throttle: Throttle | None = None,
-                 retry: RetryPolicy | None = None, tracer=None):
+                 retry: RetryPolicy | None = None, tracer=None,
+                 deadline_s: Optional[float] = None, budget=None,
+                 breaker=None):
         self.session = session
         self.workload = workload
         self.chooser = chooser
@@ -69,6 +131,12 @@ class ClientThread:
         self.throttle = throttle
         self.retry = retry if retry is not None else session.store.retry_policy()
         self.tracer = tracer
+        #: Per-operation deadline (seconds) stamped into the kernel slot.
+        self.deadline_s = deadline_s
+        #: Shared :class:`~repro.overload.budget.RetryBudget`, or ``None``.
+        self.budget = budget
+        #: Shared :class:`~repro.overload.budget.CircuitBreaker`, or ``None``.
+        self.breaker = breaker
         self._op_table = workload.op_table()
 
     def _draw_op(self) -> OpType:
@@ -116,36 +184,25 @@ class ClientThread:
                     and not self.control.done
                     and self.tracer.should_sample()):
                 trace = self.tracer.begin(op.value, key, self.session.index)
-            error = False
-            attempt = 1
-            while True:
-                try:
-                    result = yield from self.session.execute(
-                        op, key, fields=fields, scan_length=scan_length
-                    )
-                    error = result is False
-                    break
-                except OpError:
-                    # Semantic failure (e.g. Redis OOM): retrying cannot
-                    # help, YCSB records it and moves on.
-                    error = True
-                    break
-                except FaultError:
-                    # Infrastructure fault: the driver reconnects with
-                    # backoff, inside the timed call.
-                    if attempt >= self.retry.max_attempts:
-                        error = True
-                        break
-                    backoff = self.retry.backoff_for(attempt)
-                    attempt += 1
-                    if backoff > 0:
-                        yield sim.timeout(backoff)
+            deadline = None
+            if self.deadline_s is not None:
+                deadline = started + self.deadline_s
+                sim.deadline = deadline
+            try:
+                error, kind = yield from attempt_op(
+                    self.session, op, key, fields, scan_length, self.retry,
+                    deadline=deadline, budget=self.budget,
+                    breaker=self.breaker,
+                )
+            finally:
+                if deadline is not None:
+                    sim.deadline = None
             latency = sim.now - started
             if trace is not None:
                 self.tracer.complete(trace, error)
             self.stats.note_op(sim.now, error)
             if self.control.measuring and not self.control.done:
-                self.stats.record(op, latency, error)
+                self.stats.record(op, latency, error, kind)
                 if trace is not None:
                     self.stats.note_trace(trace)
             self.control.note_completion(self.stats, sim.now)

@@ -26,6 +26,8 @@ from typing import Any, Optional
 from repro.faults.availability import AvailabilityTimeline
 from repro.faults.chaos import ChaosController
 from repro.faults.schedule import FaultSchedule
+from repro.overload.budget import CircuitBreaker, RetryBudget
+from repro.overload.policy import OverloadPolicy
 from repro.sim.cluster import CLUSTER_M, Cluster, ClusterSpec, NodeSpec
 from repro.sim.disk import DiskSpec
 from repro.sim.network import NetworkSpec
@@ -130,6 +132,9 @@ class BenchmarkConfig:
     availability_window_s: float = 0.25
     #: Override the store's default client retry policy.
     retry: Optional[RetryPolicy] = None
+    #: Overload-resilience policy: bounded queues, deadlines, admission
+    #: control and retry budgets (``None`` = the unprotected stack).
+    overload: Optional[OverloadPolicy] = None
     #: Sample every Nth measured operation into a span trace
     #: (``None`` = tracing off).  Sampling is deterministic, so a fixed
     #: seed yields identical traces across runs.
@@ -209,6 +214,8 @@ class BenchmarkConfig:
             "duration_s": self.duration_s,
             "availability_window_s": self.availability_window_s,
             "retry": None if self.retry is None else _opaque(self.retry),
+            "overload": (None if self.overload is None
+                         else self.overload.to_dict()),
             "trace_sample_every": self.trace_sample_every,
             "trace_max_traces": self.trace_max_traces,
             "metrics_interval_s": self.metrics_interval_s,
@@ -257,6 +264,8 @@ class BenchmarkConfig:
             store_kwargs=dict(payload["store_kwargs"]),
             duration_s=payload["duration_s"],
             availability_window_s=payload["availability_window_s"],
+            overload=(None if payload.get("overload") is None
+                      else OverloadPolicy.from_dict(payload["overload"])),
             trace_sample_every=payload["trace_sample_every"],
             trace_max_traces=payload["trace_max_traces"],
             metrics_interval_s=payload["metrics_interval_s"],
@@ -388,6 +397,8 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
     n_clients = cls.clients_for(config.n_nodes, spec.servers_per_client)
     cluster = Cluster(spec, config.n_nodes, n_clients=n_clients)
     deployed = _build_store(config, cluster, schema)
+    if config.overload is not None:
+        deployed.configure_overload(config.overload)
 
     total_records = config.records_per_node * config.n_nodes
     deployed.load(generate_records(total_records, schema))
@@ -423,6 +434,17 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         chaos = ChaosController(cluster, config.fault_schedule)
         chaos.subscribe(deployed)
         chaos.start()
+    deadline_s = budget = breaker = None
+    if config.overload is not None:
+        policy = config.overload
+        deadline_s = policy.deadline_s
+        if policy.retry_budget_per_s is not None:
+            budget = RetryBudget(policy.retry_budget_per_s,
+                                 policy.retry_budget_burst)
+        if policy.circuit_breaker:
+            breaker = CircuitBreaker()
+            if chaos is not None:
+                chaos.subscribe(breaker)
     tracer = None
     if config.trace_sample_every is not None:
         tracer = Tracer(cluster.sim,
@@ -449,6 +471,7 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         threads.append(ClientThread(
             session, workload, chooser, sequence, stats, control, rng,
             schema, throttle, retry=config.retry, tracer=tracer,
+            deadline_s=deadline_s, budget=budget, breaker=breaker,
         ))
     processes = [cluster.sim.process(t.run(), name=f"client-{i}")
                  for i, t in enumerate(threads)]

@@ -16,7 +16,14 @@ from repro.faults.availability import AvailabilityTimeline
 from repro.stores.base import OpType
 from repro.trace.breakdown import ComponentBreakdown
 
-__all__ = ["LatencyHistogram", "RunStats"]
+__all__ = ["ERROR_KINDS", "LatencyHistogram", "RunStats"]
+
+#: Error classification recorded alongside per-op error counts:
+#: ``store`` — semantic store failure (OpError / failed result);
+#: ``fault`` — infrastructure fault that exhausted its retries;
+#: ``overload`` — admission-control rejection (queue full / shed);
+#: ``deadline`` — the op's deadline expired.
+ERROR_KINDS = ("store", "fault", "overload", "deadline")
 
 
 class LatencyHistogram:
@@ -33,6 +40,10 @@ class LatencyHistogram:
         self._min = math.inf
         self.max = 0.0
         self.errors = 0
+        #: Error counts split by class (see :data:`ERROR_KINDS`), so
+        #: rejected/expired ops stay distinguishable from infrastructure
+        #: faults in per-op error stats.
+        self.error_kinds: dict[str, int] = {}
 
     @property
     def min(self) -> float:
@@ -46,8 +57,13 @@ class LatencyHistogram:
                     * self.BUCKETS_PER_DECADE)
         return min(index, self.N_BUCKETS - 1)
 
-    def record(self, latency_s: float, error: bool = False) -> None:
-        """Add one measured operation."""
+    def record(self, latency_s: float, error: bool = False,
+               kind: Optional[str] = None) -> None:
+        """Add one measured operation.
+
+        ``kind`` classifies an error (defaults to ``"store"``); it is
+        ignored for successful operations.
+        """
         if latency_s < 0:
             raise ValueError("latency cannot be negative")
         self.count += 1
@@ -57,6 +73,8 @@ class LatencyHistogram:
         self._counts[self._bucket(latency_s)] += 1
         if error:
             self.errors += 1
+            key = kind or "store"
+            self.error_kinds[key] = self.error_kinds.get(key, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -92,6 +110,8 @@ class LatencyHistogram:
         self._min = min(self._min, other._min)
         self.max = max(self.max, other.max)
         self.errors += other.errors
+        for kind, n in other.error_kinds.items():
+            self.error_kinds[kind] = self.error_kinds.get(kind, 0) + n
 
 
 @dataclass
@@ -117,12 +137,27 @@ class RunStats:
         return self.histograms[op]
 
     def record(self, op: OpType, latency_s: float,
-               error: bool = False) -> None:
+               error: bool = False, kind: Optional[str] = None) -> None:
         """Add one completed operation."""
-        self.histogram(op).record(latency_s, error)
+        self.histogram(op).record(latency_s, error, kind)
         self.operations += 1
         if error:
             self.errors += 1
+
+    def error_kind_total(self, kind: str) -> int:
+        """Errors of ``kind`` summed over all operation types."""
+        return sum(h.error_kinds.get(kind, 0)
+                   for h in self.histograms.values())
+
+    @property
+    def rejected_ops(self) -> int:
+        """Ops that failed with an admission-control rejection."""
+        return self.error_kind_total("overload")
+
+    @property
+    def expired_ops(self) -> int:
+        """Ops that failed because their deadline passed."""
+        return self.error_kind_total("deadline")
 
     def note_op(self, now: float, error: bool) -> None:
         """Feed the availability timeline (every completed op, always).
@@ -178,4 +213,6 @@ class RunStats:
             out[f"{op.value}_error_rate"] = (
                 histogram.errors / histogram.count if histogram.count else 0.0
             )
+            for kind, n in sorted(histogram.error_kinds.items()):
+                out[f"{op.value}_{kind}_errors"] = float(n)
         return out

@@ -1,0 +1,146 @@
+"""Bounded resource queues, generation stats, and backoff caps."""
+
+import pytest
+
+from repro.sim.faults import OverloadError
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+from repro.stores.base import RetryPolicy
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBoundedQueue:
+    def test_rejects_when_queue_full(self, sim):
+        resource = Resource(sim, 1, max_queue=2)
+        granted = resource.request()
+        q1 = resource.request()
+        q2 = resource.request()
+        rejected = resource.request()
+        assert granted.processed or granted.triggered
+        assert not q1.triggered and not q2.triggered
+        assert rejected.triggered and not rejected.ok
+        assert isinstance(rejected.value, OverloadError)
+        assert resource.stats.rejected == 1
+
+    def test_max_queue_zero_rejects_any_wait(self, sim):
+        resource = Resource(sim, 1, max_queue=0)
+        resource.request()
+        overflow = resource.request()
+        assert not overflow.ok
+        assert isinstance(overflow.value, OverloadError)
+
+    def test_unbounded_by_default(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        for _ in range(100):
+            resource.request()
+        assert resource.stats.rejected == 0
+        assert resource.queue_length == 100
+
+    def test_rejection_throws_into_waiting_process(self, sim):
+        resource = Resource(sim, 1, max_queue=0)
+        outcomes = []
+
+        def worker(i):
+            try:
+                yield sim.process(resource.use(1.0))
+                outcomes.append((i, "served"))
+            except OverloadError:
+                outcomes.append((i, "rejected"))
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        # First claims the slot; the rest find a zero-length queue full.
+        assert outcomes.count((0, "served")) == 1
+        assert sum(1 for _, kind in outcomes if kind == "rejected") == 2
+
+    def test_released_slot_reopens_admission(self, sim):
+        resource = Resource(sim, 1, max_queue=0)
+        served = []
+
+        def worker(i, delay):
+            yield sim.timeout(delay)
+            yield sim.process(resource.use(0.5))
+            served.append(i)
+
+        sim.process(worker(0, 0.0))
+        sim.process(worker(1, 1.0))  # after the first released
+        sim.run()
+        assert served == [0, 1]
+        assert resource.stats.rejected == 0
+
+    def test_negative_max_queue_rejected(self, sim):
+        from repro.sim.kernel import SimulationError
+
+        with pytest.raises(SimulationError):
+            Resource(sim, 1, max_queue=-1)
+
+
+class TestGenerationStats:
+    def test_restore_rolls_peak_into_generations(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        for _ in range(5):
+            resource.request()
+        assert resource.stats.peak_queue_length == 5
+        resource.shut_down()
+        resource.restore()
+        assert resource.stats.generation == 1
+        assert resource.stats.generation_peaks == [5]
+        # The live peak starts clean for post-recovery saturation analysis.
+        assert resource.stats.peak_queue_length == 0
+        # Both queue behind the still-held pre-crash grant; only the
+        # post-restore backlog counts toward the new generation's peak.
+        resource.request()
+        resource.request()
+        assert resource.stats.peak_queue_length == 2
+
+    def test_restore_without_crash_is_a_noop(self, sim):
+        resource = Resource(sim, 1)
+        resource.request()
+        resource.request()
+        peak = resource.stats.peak_queue_length
+        resource.restore()
+        assert resource.stats.generation == 0
+        assert resource.stats.generation_peaks == []
+        assert resource.stats.peak_queue_length == peak
+
+    def test_double_crash_rolls_once_per_recovery(self, sim):
+        resource = Resource(sim, 1)
+        resource.shut_down()
+        resource.shut_down()
+        resource.restore()
+        resource.restore()
+        assert resource.stats.generation == 1
+        assert resource.stats.generation_peaks == [0]
+
+
+class TestBackoffCap:
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(max_attempts=64, backoff_s=0.1,
+                             backoff_cap_s=0.4)
+        delays = [policy.backoff_for(attempt)
+                  for attempt in range(1, 64)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.4)
+        # Regression: exponential growth used to run unbounded —
+        # attempt 60 would wait 0.1 * 2**59 seconds (18 millennia).
+        assert max(delays) == pytest.approx(0.4)
+
+    def test_default_cap_bounds_every_store_policy(self):
+        from repro.stores.registry import STORE_NAMES, store_class
+
+        for name in STORE_NAMES:
+            policy = store_class(name).retry_policy()
+            horizon = [policy.backoff_for(a) for a in range(1, 50)]
+            assert max(horizon) <= policy.backoff_cap_s
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_cap_s=-0.1)

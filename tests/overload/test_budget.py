@@ -1,0 +1,94 @@
+"""RetryBudget token bucket and CircuitBreaker unit tests."""
+
+import pytest
+
+from repro.overload.budget import CircuitBreaker, RetryBudget
+
+
+class _Node:
+    def __init__(self, name):
+        self.name = name
+
+
+class _Fault(Exception):
+    def __init__(self, node=None):
+        super().__init__("boom")
+        self.node = node
+
+
+class TestRetryBudget:
+    def test_burst_spends_down_then_denies(self):
+        budget = RetryBudget(rate_per_s=0.0, burst=2.0)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(0.0)
+        assert not budget.try_spend(0.0)
+        assert budget.spent == 2
+        assert budget.denied == 1
+
+    def test_refill_at_rate(self):
+        budget = RetryBudget(rate_per_s=10.0, burst=1.0)
+        assert budget.try_spend(0.0)
+        assert not budget.try_spend(0.0)
+        # 0.1 simulated seconds refills exactly one token.
+        assert budget.try_spend(0.1)
+        assert not budget.try_spend(0.1)
+
+    def test_refill_caps_at_burst(self):
+        budget = RetryBudget(rate_per_s=100.0, burst=3.0)
+        # A long idle period cannot bank more than ``burst`` tokens.
+        assert budget.tokens == 3.0
+        for _ in range(3):
+            assert budget.try_spend(100.0)
+        assert not budget.try_spend(100.0)
+
+    def test_time_going_backwards_does_not_refill(self):
+        budget = RetryBudget(rate_per_s=10.0, burst=1.0)
+        assert budget.try_spend(5.0)
+        assert not budget.try_spend(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(rate_per_s=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(rate_per_s=1.0, burst=-1.0)
+
+
+class TestCircuitBreaker:
+    def test_allows_unknown_and_healthy_nodes(self):
+        breaker = CircuitBreaker()
+        assert breaker.allow_retry(_Fault())
+        assert breaker.allow_retry(_Fault(node="server-0"))
+        assert breaker.tripped == 0
+
+    def test_trips_on_known_down_node(self):
+        breaker = CircuitBreaker()
+        breaker.on_node_down(_Node("server-0"))
+        assert not breaker.allow_retry(_Fault(node="server-0"))
+        assert breaker.allow_retry(_Fault(node="server-1"))
+        assert breaker.tripped == 1
+        assert breaker.down_nodes == frozenset({"server-0"})
+
+    def test_recovery_closes_the_circuit(self):
+        breaker = CircuitBreaker()
+        node = _Node("server-0")
+        breaker.on_node_down(node)
+        breaker.on_node_up(node)
+        assert breaker.allow_retry(_Fault(node="server-0"))
+        assert breaker.down_nodes == frozenset()
+
+    def test_chaos_controller_notifies_breaker(self):
+        from repro.faults.chaos import ChaosController
+        from repro.faults.schedule import FaultSchedule
+        from repro.sim.cluster import CLUSTER_M, Cluster
+
+        cluster = Cluster(CLUSTER_M, 2)
+        schedule = FaultSchedule()
+        schedule.crash("server-1", at=1.0, restart_after=2.0)
+        chaos = ChaosController(cluster, schedule)
+        breaker = CircuitBreaker()
+        chaos.subscribe(breaker)
+        chaos.start()
+        cluster.sim.run(until=2.0)
+        assert breaker.down_nodes == frozenset({"server-1"})
+        cluster.sim.run(until=4.0)
+        assert breaker.down_nodes == frozenset()

@@ -1,0 +1,213 @@
+"""Request deadlines: kernel propagation, check-sites, accounting."""
+
+import pytest
+
+from repro.overload import OverloadPolicy
+from repro.sim.faults import DeadlineExceededError
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, NetworkSpec
+from repro.sim.resources import Resource
+from repro.trace import attribute
+from repro.ycsb.runner import run_benchmark
+from repro.ycsb.workload import WORKLOADS
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestKernelDeadline:
+    def test_deadline_is_per_process(self, sim):
+        seen = {}
+
+        def with_deadline():
+            sim.deadline = 5.0
+            yield sim.timeout(1.0)
+            seen["a"] = sim.deadline
+
+        def without():
+            yield sim.timeout(0.5)
+            seen["b"] = sim.deadline
+
+        sim.process(with_deadline())
+        sim.process(without())
+        sim.run()
+        assert seen == {"a": 5.0, "b": None}
+
+    def test_spawned_process_inherits_deadline(self, sim):
+        seen = {}
+
+        def child():
+            seen["child"] = sim.deadline
+            yield sim.timeout(0.1)
+
+        def parent():
+            sim.deadline = 3.0
+            yield sim.process(child())
+
+        sim.process(parent())
+        sim.run()
+        assert seen["child"] == 3.0
+
+    def test_detached_process_sheds_deadline(self, sim):
+        seen = {}
+
+        def background():
+            seen["bg"] = sim.deadline
+            yield sim.timeout(10.0)
+            seen["bg_end"] = sim.now
+
+        def parent():
+            sim.deadline = 0.5
+            sim.detached(background(), name="bg")
+            yield sim.timeout(0.1)
+
+        sim.process(parent())
+        sim.run()
+        # Background persistence work outlives the request's deadline.
+        assert seen["bg"] is None
+        assert seen["bg_end"] == 10.0
+
+    def test_deadline_exceeded_semantics(self, sim):
+        checks = []
+
+        def proc():
+            sim.deadline = 1.0
+            checks.append(sim.deadline_exceeded())
+            yield sim.timeout(1.0)
+            checks.append(sim.deadline_exceeded())
+
+        sim.process(proc())
+        sim.run()
+        assert checks == [False, True]
+
+
+class TestResourceDeadline:
+    def test_expired_before_enqueue(self, sim):
+        resource = Resource(sim, 1)
+        outcome = []
+
+        def proc():
+            sim.deadline = 0.5
+            yield sim.timeout(1.0)
+            try:
+                yield sim.process(resource.use(0.1))
+            except DeadlineExceededError:
+                outcome.append("expired")
+
+        sim.process(proc())
+        sim.run()
+        assert outcome == ["expired"]
+        assert resource.stats.expired == 1
+
+    def test_expired_while_queued_releases_slot(self, sim):
+        resource = Resource(sim, 1)
+        outcome = []
+
+        def hog():
+            yield sim.process(resource.use(2.0))
+
+        def late():
+            sim.deadline = 1.0
+            yield sim.timeout(0.1)
+            try:
+                yield sim.process(resource.use(0.5))
+            except DeadlineExceededError:
+                outcome.append(("expired", sim.now))
+
+        def after():
+            yield sim.timeout(2.5)
+            yield sim.process(resource.use(0.1))
+            outcome.append(("served", sim.now))
+
+        sim.process(hog())
+        sim.process(late())
+        sim.process(after())
+        sim.run()
+        # The late request was granted at t=2.0 (past its deadline),
+        # abandoned the slot immediately, and the station kept serving.
+        assert ("expired", 2.0) in outcome
+        assert ("served", 2.6) in outcome
+        assert resource.stats.expired == 1
+
+    def test_expired_requests_do_not_hold_station_time(self, sim):
+        resource = Resource(sim, 1)
+
+        def proc():
+            sim.deadline = 0.0  # born dead
+            yield sim.timeout(0.1)
+            try:
+                yield sim.process(resource.use(5.0))
+            except DeadlineExceededError:
+                pass
+
+        sim.process(proc())
+        sim.run()
+        assert resource.busy_seconds() == 0.0
+
+
+class TestNetworkDeadline:
+    def test_expired_transfer_refused(self, sim):
+        network = Network(sim, NetworkSpec())
+        network.attach("a")
+        network.attach("b")
+        outcome = []
+
+        def proc():
+            sim.deadline = 0.5
+            yield sim.timeout(1.0)
+            try:
+                yield sim.process(network.transfer("a", "b", 1000))
+            except DeadlineExceededError:
+                outcome.append("expired")
+
+        sim.process(proc())
+        sim.run()
+        assert outcome == ["expired"]
+        assert network.messages_expired == 1
+        assert network.messages_sent == 0
+
+
+class TestClientDeadlineAccounting:
+    RUN_KWARGS = dict(records_per_node=1500, measured_ops=500,
+                      warmup_ops=100, seed=42)
+
+    def _tight_run(self, store="redis", deadline_s=0.0002, **extra):
+        # A deadline tighter than typical service time forces expiries.
+        policy = OverloadPolicy(max_queue=None, deadline_s=deadline_s,
+                                retry_budget_per_s=None,
+                                circuit_breaker=False)
+        return run_benchmark(store, WORKLOADS["R"], 1, overload=policy,
+                             **self.RUN_KWARGS, **extra)
+
+    def test_deadline_errors_counted_separately(self):
+        result = self._tight_run()
+        stats = result.stats
+        assert stats.expired_ops > 0
+        # Deadline expiries are their own kind — not store faults, not
+        # overload rejections.
+        assert stats.error_kind_total("fault") == 0
+        assert stats.error_kind_total("overload") == 0
+        assert stats.rejected_ops == 0
+        total_kinds = sum(stats.error_kind_total(kind) for kind in
+                          ("store", "fault", "overload", "deadline"))
+        assert total_kinds == stats.errors
+
+    def test_loose_deadline_changes_nothing(self):
+        bare = run_benchmark("redis", WORKLOADS["R"], 1, **self.RUN_KWARGS)
+        loose = self._tight_run(deadline_s=30.0)
+        assert loose.stats.expired_ops == 0
+        assert loose.throughput_ops == pytest.approx(
+            bare.throughput_ops, rel=0.05)
+
+    def test_trace_attribution_exact_for_timed_out_ops(self):
+        result = self._tight_run(trace_sample_every=3)
+        assert result.traces, "tracing produced no samples"
+        errored = [t for t in result.traces if t.error]
+        assert errored, "expected some timed-out traced operations"
+        for trace in result.traces:
+            totals = attribute(trace)
+            assert sum(totals.values()) == pytest.approx(
+                trace.latency, rel=0.01, abs=1e-12), \
+                f"attribution diverged for trace {trace.trace_id}"

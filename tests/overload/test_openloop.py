@@ -1,0 +1,80 @@
+"""Open-loop overload harness: determinism and goodput behaviour."""
+
+import pytest
+
+from repro.overload import OverloadPolicy
+from repro.overload.openloop import (find_saturation, goodput_sweep,
+                                     run_overload_point)
+from repro.ycsb.runner import BenchmarkConfig
+from repro.ycsb.workload import WORKLOADS
+
+POLICY = OverloadPolicy(max_queue=16, deadline_s=0.1,
+                        retry_budget_per_s=200.0)
+
+
+def _config(store="redis", **kwargs):
+    base = dict(store=store, workload=WORKLOADS["R"], n_nodes=1,
+                records_per_node=2000, measured_ops=600, warmup_ops=150,
+                overload=POLICY)
+    base.update(kwargs)
+    return BenchmarkConfig(**base)
+
+
+class TestDeterminism:
+    def test_identical_points_are_byte_identical(self):
+        config = _config()
+        a = run_overload_point(config, 2000.0, duration_s=0.4,
+                               warmup_s=0.1)
+        b = run_overload_point(config, 2000.0, duration_s=0.4,
+                               warmup_s=0.1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_seed_changes_the_point(self):
+        a = run_overload_point(_config(seed=1), 2000.0, duration_s=0.4,
+                               warmup_s=0.1)
+        b = run_overload_point(_config(seed=2), 2000.0, duration_s=0.4,
+                               warmup_s=0.1)
+        assert a.to_dict() != b.to_dict()
+
+
+class TestOverloadPoint:
+    def test_point_accounting_is_consistent(self):
+        point = run_overload_point(_config(), 3000.0, duration_s=0.4,
+                                   warmup_s=0.1)
+        assert point.arrivals > 0
+        assert point.in_slo <= point.succeeded <= point.arrivals
+        assert point.goodput == pytest.approx(point.in_slo / 0.4)
+        failures = sum(point.error_kinds.values())
+        assert point.succeeded + failures == point.arrivals
+
+    def test_requires_overload_policy_for_sweep(self):
+        with pytest.raises(ValueError):
+            goodput_sweep(_config(overload=None))
+
+
+@pytest.mark.parametrize("store", ["redis", "mysql"])
+def test_protection_preserves_goodput_at_2x(store):
+    """The acceptance criterion, on the two cheapest stores; the full
+    six-store matrix lives in benchmarks/bench_overload.py."""
+    config = _config(store=store)
+    sweep = goodput_sweep(config, multipliers=(1.0, 2.0), duration_s=0.4,
+                          warmup_s=0.1, use_sustained=False)
+    rate = sweep.saturation.rate
+    protected = sweep.protected[-1]
+    unprotected = sweep.unprotected[-1]
+    assert protected.offered_rate == pytest.approx(2 * rate)
+    assert protected.goodput >= 0.70 * rate
+    # Without protection the backlog grows past the protected bound and
+    # in-SLO goodput falls below the protected arm.
+    assert unprotected.max_queue_depth > protected.max_queue_depth
+    assert unprotected.goodput < protected.goodput
+
+
+def test_find_saturation_refines_open_loop_capacity():
+    estimate = find_saturation(_config(), use_sustained=False)
+    assert estimate.open_loop is not None
+    assert estimate.rate == estimate.open_loop
+    assert estimate.rate >= estimate.throughput * 0.5
+    payload = estimate.to_dict()
+    assert set(payload) == {"rate", "throughput", "floor", "peak",
+                            "open_loop"}

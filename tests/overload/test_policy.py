@@ -1,0 +1,76 @@
+"""OverloadPolicy: validation, round-trip, config identity."""
+
+import pytest
+
+from repro.overload import OverloadPolicy
+from repro.ycsb.runner import BenchmarkConfig
+from repro.ycsb.workload import WORKLOADS
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = OverloadPolicy()
+        assert policy.max_queue == 64
+        assert policy.deadline_s == 0.25
+
+    def test_negative_max_queue_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(max_queue=-1)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(deadline_s=0.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadPolicy(retry_budget_per_s=-1.0)
+        with pytest.raises(ValueError):
+            OverloadPolicy(retry_budget_burst=-1.0)
+
+    def test_none_disables_each_mechanism(self):
+        policy = OverloadPolicy(max_queue=None, deadline_s=None,
+                                retry_budget_per_s=None,
+                                circuit_breaker=False)
+        assert policy.max_queue is None
+        assert policy.deadline_s is None
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        policy = OverloadPolicy(max_queue=7, deadline_s=0.125,
+                                retry_budget_per_s=50.0,
+                                retry_budget_burst=5.0,
+                                circuit_breaker=False)
+        assert OverloadPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_defaults_round_trip(self):
+        policy = OverloadPolicy()
+        assert OverloadPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestConfigIdentity:
+    def _config(self, **kwargs):
+        return BenchmarkConfig(store="redis", workload=WORKLOADS["R"],
+                               n_nodes=1, **kwargs)
+
+    def test_config_with_policy_stays_portable(self):
+        config = self._config(overload=OverloadPolicy())
+        assert config.is_portable
+        rebuilt = BenchmarkConfig.from_dict(config.to_dict())
+        assert rebuilt.overload == config.overload
+        assert rebuilt.content_hash() == config.content_hash()
+
+    def test_policy_changes_content_hash(self):
+        bare = self._config()
+        protected = self._config(overload=OverloadPolicy())
+        tighter = self._config(overload=OverloadPolicy(max_queue=8))
+        hashes = {bare.content_hash(), protected.content_hash(),
+                  tighter.content_hash()}
+        assert len(hashes) == 3
+
+    def test_payload_without_overload_key_still_parses(self):
+        # Results persisted before the overload field existed.
+        payload = self._config().to_dict()
+        payload.pop("overload")
+        rebuilt = BenchmarkConfig.from_dict(payload)
+        assert rebuilt.overload is None

@@ -129,6 +129,56 @@ def _run_store(name: str, trace: list[tuple]) -> dict:
     return {"count": len(live), "scans_checked": scans_checked}
 
 
+@pytest.mark.parametrize("name", STORE_NAMES)
+def test_partitioned_write_surfaces_as_infrastructure_fault(name):
+    """A write that exhausts its retries against partitioned-away servers
+    must land in per-op error stats as an infrastructure fault ("fault"
+    kind) — not a store error, an overload rejection, or an expiry — and
+    succeed once the partition heals."""
+    from repro.ycsb.client import attempt_op
+    from repro.ycsb.stats import RunStats
+
+    cluster = Cluster(CLUSTER_M, 4)
+    store = create_store(name, cluster, **STORE_KWARGS.get(name, {}))
+    store.load(make_records(N_LOADED))
+    session = store.session(cluster.clients[0], 0)
+    cluster.network.partition([
+        [node.name for node in cluster.clients],
+        [node.name for node in cluster.servers],
+    ])
+
+    sim = cluster.sim
+    stats = RunStats()
+    retry = store_class(name).retry_policy()
+    key = format_key(N_LOADED + 1)
+    fields = _full_fields(random.Random(7), key)
+    outcome = {}
+
+    def driver():
+        started = sim.now
+        error, kind = yield from attempt_op(
+            session, OpType.INSERT, key, fields, 0, retry)
+        stats.record(OpType.INSERT, sim.now - started, error, kind)
+        outcome["error"], outcome["kind"] = error, kind
+
+    sim.run(until=sim.process(driver()))
+    assert outcome == {"error": True, "kind": "fault"}
+    assert stats.histogram(OpType.INSERT).error_kinds.get("fault") == 1
+    assert stats.error_kind_total("store") == 0
+    assert stats.rejected_ops == 0
+    assert stats.expired_ops == 0
+
+    cluster.network.heal()
+
+    def healed():
+        error, kind = yield from attempt_op(
+            session, OpType.INSERT, key, fields, 0, retry)
+        outcome["healed_error"] = error
+
+    sim.run(until=sim.process(healed()))
+    assert outcome["healed_error"] is False
+
+
 def test_conformance_matrix_across_all_six_stores():
     trace = _make_trace()
     outcomes = {name: _run_store(name, trace) for name in STORE_NAMES}
