@@ -1,0 +1,140 @@
+"""Kernel-speed baseline: events/sec of the bare simulation engine.
+
+The ROADMAP's top open item is making `repro.sim.kernel` 10-100x faster
+— it is the binding constraint on cluster size and sweep breadth.  Any
+optimisation PR needs a *visible starting point*: this micro-benchmark
+drives a store-free workload (timer wheels plus contended resources,
+the two things every simulated operation exercises) and compares
+against the committed trajectory in ``BENCH_KERNEL.json`` at the repo
+root.
+
+Two checks, deliberately asymmetric:
+
+* **determinism is strict** — the workload's event count and final
+  simulated clock must match the committed values exactly; a drift
+  means kernel semantics changed, which is a correctness event, not a
+  performance one;
+* **speed is lenient** — wall-clock varies across machines, so the run
+  only fails when it drops below ``FLOOR_FRACTION`` of the committed
+  events/sec (a 4x regression on the same order of machine).
+
+Re-seed the baseline after an intentional kernel change with::
+
+    REPRO_UPDATE_KERNEL_BASELINE=1 python -m pytest benchmarks/bench_kernel.py
+
+which appends one entry per package version — the per-PR trajectory the
+kernel-speed work will be judged against.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import repro
+from repro.sim.kernel import Simulator
+from repro.sim.resources import Resource
+
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_KERNEL.json"
+
+#: Fail only below this fraction of the committed events/sec.
+FLOOR_FRACTION = 0.25
+
+#: Workload shape: enough events to dominate interpreter warm-up while
+#: keeping the bench under a few seconds.
+N_RESOURCES = 8
+N_WORKERS = 200
+OPS_PER_WORKER = 250
+
+
+def _worker(sim, resources, index):
+    for op in range(OPS_PER_WORKER):
+        resource = resources[(index + op) % len(resources)]
+        yield sim.process(resource.use(0.001))
+        yield sim.timeout(0.0005 * ((index + op) % 7 + 1))
+
+
+def run_kernel_workload():
+    """One deterministic engine-only run; returns its measurements."""
+    sim = Simulator()
+    resources = [Resource(sim, 2, f"kernel-bench:{i}")
+                 for i in range(N_RESOURCES)]
+    for index in range(N_WORKERS):
+        sim.process(_worker(sim, resources, index),
+                    name=f"kernel-worker-{index}")
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    # The kernel's monotone event sequence is the exact count of events
+    # ever scheduled — the engine-speed denominator.
+    events = sim._sequence
+    return {
+        "events": events,
+        "sim_time": round(sim.now, 9),
+        "elapsed_s": elapsed,
+        "events_per_s": events / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def _load_baseline():
+    if not BASELINE_PATH.is_file():
+        return []
+    return json.loads(BASELINE_PATH.read_text())["trajectory"]
+
+
+def _write_baseline(trajectory):
+    payload = {
+        "workload": {
+            "n_resources": N_RESOURCES,
+            "n_workers": N_WORKERS,
+            "ops_per_worker": OPS_PER_WORKER,
+        },
+        "trajectory": trajectory,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2,
+                                        sort_keys=True) + "\n")
+
+
+def test_kernel_speed_baseline(benchmark):
+    """Engine throughput against the committed BENCH_KERNEL.json."""
+    measured = benchmark.pedantic(run_kernel_workload, rounds=1,
+                                  iterations=1, warmup_rounds=1)
+    print()
+    print(f"kernel: {measured['events']:,} events in "
+          f"{measured['elapsed_s']:.3f}s wall = "
+          f"{measured['events_per_s']:,.0f} events/s "
+          f"(sim time {measured['sim_time']:.3f}s)")
+
+    trajectory = _load_baseline()
+    if os.environ.get("REPRO_UPDATE_KERNEL_BASELINE") == "1" or \
+            not trajectory:
+        trajectory = [entry for entry in trajectory
+                      if entry["version"] != repro.__version__]
+        trajectory.append({
+            "version": repro.__version__,
+            "events": measured["events"],
+            "sim_time": measured["sim_time"],
+            "events_per_s": round(measured["events_per_s"]),
+        })
+        _write_baseline(trajectory)
+        print(f"seeded baseline for {repro.__version__} in "
+              f"{BASELINE_PATH.name}")
+        return
+
+    committed = trajectory[-1]
+    # Determinism: same workload, same engine -> same event count and
+    # final clock, to the last event.
+    assert measured["events"] == committed["events"], (
+        f"kernel event count drifted: {measured['events']:,} vs "
+        f"committed {committed['events']:,} — engine semantics changed")
+    assert measured["sim_time"] == committed["sim_time"], (
+        f"final simulated clock drifted: {measured['sim_time']} vs "
+        f"committed {committed['sim_time']}")
+    # Speed: lenient floor, loud print; the trajectory is the signal.
+    floor = FLOOR_FRACTION * committed["events_per_s"]
+    print(f"committed {committed['events_per_s']:,.0f} events/s "
+          f"(v{committed['version']}); floor {floor:,.0f}")
+    assert measured["events_per_s"] >= floor, (
+        f"kernel speed {measured['events_per_s']:,.0f} events/s fell "
+        f"below {FLOOR_FRACTION:.0%} of the committed "
+        f"{committed['events_per_s']:,.0f}")

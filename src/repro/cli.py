@@ -9,6 +9,8 @@ Subcommands::
     apmbench reproduce --figures all --jobs 8   # every paper artefact
     apmbench grid --stores redis,mysql --workloads R,RW --nodes 1,2
     apmbench overload -s redis -n 1 --multipliers 0.5,1,1.5,2
+    apmbench overload -s redis -n 1 --shape flash:at=0.5,multiplier=4
+    apmbench control -s redis --rate 1600 --shape diurnal --kill-at 9
     apmbench verify-figures apmbench-results/figures
     apmbench capacity --monitored 240 --throughput-per-node 15000
 
@@ -308,7 +310,7 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.provenance import stamp
-    from repro.overload import OverloadPolicy
+    from repro.overload import OverloadPolicy, parse_shape
     from repro.overload.openloop import goodput_sweep
     from repro.ycsb.runner import BenchmarkConfig
 
@@ -325,10 +327,11 @@ def _cmd_overload(args: argparse.Namespace) -> int:
         measured_ops=args.ops, seed=args.seed, overload=policy,
     )
     multipliers = tuple(float(m) for m in args.multipliers.split(","))
+    shape = parse_shape(args.shape) if args.shape else None
     sweep = goodput_sweep(
         config, multipliers=multipliers, duration_s=args.duration,
         warmup_s=args.warmup, use_sustained=not args.no_sustained,
-        include_unprotected=not args.protected_only,
+        include_unprotected=not args.protected_only, shape=shape,
     )
     sat = sweep.saturation
     print(f"store={args.store} workload={args.workload} "
@@ -358,6 +361,87 @@ def _cmd_overload(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"\nwrote sweep to {out}")
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.control import (ControlPolicy, ControlScenario,
+                               run_control_scenario)
+    from repro.overload import OverloadPolicy, parse_shape
+    from repro.stores.base import ServiceProfile
+    from repro.ycsb.runner import BenchmarkConfig
+
+    workload = WORKLOADS[args.workload]
+    spec = CLUSTER_D if args.cluster == "D" else CLUSTER_M
+    shape = parse_shape(args.shape) if args.shape else None
+    # A deliberately slow per-op profile keeps demo rates in the
+    # hundreds of ops/s so a full diurnal cycle simulates in seconds.
+    profile = ServiceProfile(read_cpu=args.op_cpu, write_cpu=args.op_cpu,
+                             client_cpu=1e-5, dispatch_cpu=0.0)
+    overload = OverloadPolicy(max_queue=args.max_queue, deadline_s=args.slo)
+
+    def config(n_nodes: int) -> BenchmarkConfig:
+        return BenchmarkConfig(
+            store=args.store, workload=workload, n_nodes=n_nodes,
+            cluster_spec=spec, records_per_node=args.records,
+            seed=args.seed, overload=overload,
+            store_kwargs={"profile": profile},
+        )
+
+    policy = ControlPolicy(
+        tick_s=args.tick, scale_out_pressure=args.scale_out,
+        scale_in_pressure=args.scale_in, sustain_ticks=args.sustain,
+        cooldown_s=args.cooldown, min_nodes=args.nodes,
+        max_nodes=args.max_nodes, replace_grace_s=args.replace_grace,
+        provision_delay_s=args.provision_delay,
+    )
+    auto = ControlScenario(
+        config=config(args.nodes), offered_rate=args.rate,
+        duration_s=args.duration, shape=shape, policy=policy,
+        slo_s=args.slo, timeline_s=args.timeline, kill_at_s=args.kill_at,
+    )
+    results = {"autoscaled": run_control_scenario(auto)}
+    if not args.no_static:
+        static = ControlScenario(
+            config=config(args.max_nodes), offered_rate=args.rate,
+            duration_s=args.duration, shape=shape, policy=None,
+            slo_s=args.slo, timeline_s=args.timeline,
+        )
+        results["static"] = run_control_scenario(static)
+
+    print(f"store={args.store} workload={args.workload} "
+          f"cluster={args.cluster} rate={args.rate:,.0f} ops/s "
+          f"shape={args.shape or 'constant'}")
+    print(f"{'arm':<12}{'goodput':>10}{'node-s':>10}{'fleet end':>10}"
+          f"{'moved MB':>10}{'decisions':>11}")
+    for arm, result in results.items():
+        print(f"{arm:<12}{result.goodput:>10,.0f}"
+              f"{result.node_seconds:>10.1f}{result.n_active_end:>10}"
+              f"{result.bytes_moved / 1e6:>10.2f}"
+              f"{len(result.decisions):>11}")
+    auto_result = results["autoscaled"]
+    if auto_result.decisions:
+        print("\ndecision log:")
+        for decision in auto_result.decisions:
+            print(f"  t={decision['t']:7.2f}s {decision['action']:<10} "
+                  f"{decision['node']:<10} {decision['reason']}")
+    if "static" in results and results["static"].goodput > 0:
+        static_result = results["static"]
+        print(f"\nautoscaled vs static: "
+              f"{auto_result.goodput / static_result.goodput:.1%} of SLO "
+              f"goodput at "
+              f"{auto_result.node_seconds / static_result.node_seconds:.1%} "
+              f"of the node-seconds")
+    if args.export:
+        payload = {arm: result.to_dict()
+                   for arm, result in results.items()}
+        out = Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"\nwrote control runs to {out}")
     return 0
 
 
@@ -601,6 +685,86 @@ def main(argv: list[str] | None = None) -> int:
                                       "sweep")
     overload_parser.add_argument("--export", metavar="FILE",
                                  help="write the sweep as stamped JSON")
+    overload_parser.add_argument("--shape", metavar="SPEC",
+                                 help="arrival shape: diurnal | flash | "
+                                      "step, with key=value overrides, "
+                                      "e.g. diurnal:period=20,trough=0.25 "
+                                      "(default: constant rate)")
+
+    control_parser = sub.add_parser(
+        "control",
+        help="autoscaling + self-healing demo: the reconciliation loop "
+             "vs static peak provisioning")
+    control_parser.add_argument("-s", "--store", choices=STORE_NAMES,
+                                default="redis")
+    control_parser.add_argument("-w", "--workload",
+                                choices=list(WORKLOADS), default="R")
+    control_parser.add_argument("-c", "--cluster", choices=("M", "D"),
+                                default="M")
+    control_parser.add_argument("-n", "--nodes", type=int, default=1,
+                                help="starting (and minimum) fleet of "
+                                     "the autoscaled arm (default 1)")
+    control_parser.add_argument("--max-nodes", type=int, default=4,
+                                help="fleet ceiling; also the static "
+                                     "arm's size (default 4)")
+    control_parser.add_argument("--rate", type=float, default=1600.0,
+                                help="peak offered rate in ops/s "
+                                     "(default 1600)")
+    control_parser.add_argument("--duration", type=float, default=20.0,
+                                help="offered-load horizon in simulated "
+                                     "seconds (default 20)")
+    control_parser.add_argument("--shape", metavar="SPEC",
+                                default="diurnal:period=20,trough=0.25",
+                                help="arrival shape (default "
+                                     "diurnal:period=20,trough=0.25; "
+                                     "pass '' for constant rate)")
+    control_parser.add_argument("--records", type=int, default=2000,
+                                help="records per starting node "
+                                     "(default 2000)")
+    control_parser.add_argument("--seed", type=int, default=42)
+    control_parser.add_argument("--slo", type=float, default=0.25,
+                                help="latency SLO and per-op deadline "
+                                     "(default 0.25)")
+    control_parser.add_argument("--op-cpu", type=float, default=2e-3,
+                                help="per-op CPU seconds of the demo "
+                                     "profile (default 0.002 — one node "
+                                     "saturates near 500 ops/s)")
+    control_parser.add_argument("--max-queue", type=int, default=32,
+                                help="bounded-queue admission limit "
+                                     "(default 32)")
+    control_parser.add_argument("--tick", type=float, default=0.25,
+                                help="reconciliation tick in simulated "
+                                     "seconds (default 0.25)")
+    control_parser.add_argument("--scale-out", type=float, default=0.8,
+                                help="scale-out pressure threshold "
+                                     "(default 0.8)")
+    control_parser.add_argument("--scale-in", type=float, default=0.55,
+                                help="scale-in pressure threshold "
+                                     "(default 0.55)")
+    control_parser.add_argument("--sustain", type=int, default=2,
+                                help="ticks a threshold must hold "
+                                     "(default 2)")
+    control_parser.add_argument("--cooldown", type=float, default=0.75,
+                                help="post-action quiet period "
+                                     "(default 0.75)")
+    control_parser.add_argument("--provision-delay", type=float,
+                                default=0.25,
+                                help="node bring-up lead time "
+                                     "(default 0.25)")
+    control_parser.add_argument("--replace-grace", type=float, default=0.5,
+                                help="crash detection-to-replacement "
+                                     "grace (default 0.5)")
+    control_parser.add_argument("--kill-at", type=float, default=None,
+                                help="chaos: crash one node at this "
+                                     "simulated time (default: no kill)")
+    control_parser.add_argument("--timeline", type=float, default=0.5,
+                                help="availability-timeline bucket "
+                                     "width (default 0.5)")
+    control_parser.add_argument("--no-static", action="store_true",
+                                help="skip the static peak-provisioned "
+                                     "baseline arm")
+    control_parser.add_argument("--export", metavar="FILE",
+                                help="write both arms as stamped JSON")
 
     verify_parser = sub.add_parser(
         "verify-figures",
@@ -631,6 +795,7 @@ def main(argv: list[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "grid": _cmd_grid,
         "overload": _cmd_overload,
+        "control": _cmd_control,
         "verify-figures": _cmd_verify_figures,
         "capacity": _cmd_capacity,
     }

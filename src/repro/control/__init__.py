@@ -1,0 +1,43 @@
+"""Autoscaling and self-healing: the telemetry -> topology loop.
+
+The paper provisions every experiment statically and Section 2 notes the
+workload's strong daily cycle — capacity bought for the peak idles
+through the trough.  This package closes the loop the paper leaves open:
+a reconciliation-style controller (observe -> diagnose -> remediate, the
+Kubernetes auto-remediation pattern) that reads the metrics subsystem's
+saturation verdicts and actuates topology changes against the live
+simulated cluster:
+
+* :mod:`repro.control.policy` — :class:`ControlPolicy` guardrails
+  (sustained thresholds, dead band, cooldown, fleet bounds) and the
+  :class:`ControlDecision` audit record;
+* :mod:`repro.control.controller` — the :class:`Controller` process:
+  scale-out on sustained binding-resource pressure or admission-shed
+  rate, scale-in under the low-water mark, replacement of chaos-killed
+  nodes without operator input;
+* :mod:`repro.control.topology` — :class:`ClusterTopology`, the
+  actuator: per-store rebalance semantics with data movement charged to
+  the simulated disks and NICs, plus the node-seconds rental ledger;
+* :mod:`repro.control.harness` — :func:`run_control_scenario`, the
+  autoscaled-vs-static comparison behind ``apmbench control`` and
+  ``benchmarks/bench_control.py``.
+
+All of it runs on simulated time with seeded randomness only: a fixed
+scenario yields a byte-identical decision log and export.
+"""
+
+from repro.control.controller import Controller
+from repro.control.harness import (ControlRunResult, ControlScenario,
+                                   run_control_scenario)
+from repro.control.policy import ControlDecision, ControlPolicy
+from repro.control.topology import ClusterTopology
+
+__all__ = [
+    "ClusterTopology",
+    "ControlDecision",
+    "ControlPolicy",
+    "ControlRunResult",
+    "ControlScenario",
+    "Controller",
+    "run_control_scenario",
+]

@@ -34,11 +34,16 @@ from repro.metrics.registry import (
 )
 from repro.metrics.timeseries import SeriesWindow, WindowedSeries
 from repro.metrics.sampler import MetricsSampler
-from repro.metrics.instrument import instrument_cluster, node_channel
+from repro.metrics.instrument import (
+    instrument_cluster,
+    instrument_node,
+    node_channel,
+)
 from repro.metrics.saturation import (
     NodeUtilization,
     ResourceUtilization,
     SaturationReport,
+    SaturationVerdict,
     analyze_saturation,
 )
 from repro.metrics.sustained import (
@@ -59,6 +64,7 @@ __all__ = [
     "ProbeMeter",
     "ResourceUtilization",
     "SaturationReport",
+    "SaturationVerdict",
     "SeriesWindow",
     "SubWindow",
     "SustainedVerdict",
@@ -67,6 +73,7 @@ __all__ = [
     "WindowedSeries",
     "analyze_saturation",
     "instrument_cluster",
+    "instrument_node",
     "node_channel",
     "verify_sustained",
 ]

@@ -17,7 +17,8 @@ from __future__ import annotations
 from repro.metrics.registry import MetricsRegistry
 from repro.sim.cluster import Cluster, Node
 
-__all__ = ["instrument_cluster", "node_channel", "register_lsm_engine"]
+__all__ = ["instrument_cluster", "instrument_node", "node_channel",
+           "register_lsm_engine"]
 
 
 def node_channel(name: str, node: str, role: str) -> str:
@@ -53,9 +54,9 @@ def register_lsm_engine(registry: MetricsRegistry, engine,
 def instrument_cluster(registry: MetricsRegistry, cluster: Cluster) -> None:
     """Register probes for every node plus the shared switch."""
     for node in cluster.servers:
-        _instrument_node(registry, node)
+        instrument_node(registry, node)
     for node in cluster.clients:
-        _instrument_node(registry, node)
+        instrument_node(registry, node)
     net = cluster.network
     registry.meter("net_messages_total", lambda n=net: n.messages_sent)
     registry.meter("net_bytes_total", lambda n=net: n.bytes_sent)
@@ -65,7 +66,12 @@ def instrument_cluster(registry: MetricsRegistry, cluster: Cluster) -> None:
                    lambda n=net: n.messages_expired)
 
 
-def _instrument_node(registry: MetricsRegistry, node: Node) -> None:
+def instrument_node(registry: MetricsRegistry, node: Node) -> None:
+    """Register one node's hardware probes.
+
+    Called per node by :func:`instrument_cluster` at setup, and by the
+    control plane for servers provisioned mid-run.
+    """
     labels = {"node": node.name, "role": node.role}
     cpus = node.cpus
     # CPU: the slot-seconds integral delta / (window * cores) is the mean

@@ -30,7 +30,7 @@ from repro.metrics.timeseries import WindowedSeries
 from repro.sim.cluster import Cluster
 
 __all__ = ["NodeUtilization", "ResourceUtilization", "SaturationReport",
-           "analyze_saturation"]
+           "SaturationVerdict", "analyze_saturation"]
 
 #: Resources that can be named as the bottleneck, in tie-break order.
 RESOURCES = ("cpu", "disk", "network", "executor")
@@ -71,6 +71,41 @@ class ResourceUtilization:
 
 
 @dataclass(frozen=True)
+class SaturationVerdict:
+    """The analyzer's conclusion, machine-readable.
+
+    One stable record shared by every consumer — the autoscaling
+    controller, ``apmbench run --metrics`` and the exported payloads —
+    instead of each parsing the narrative text.
+    """
+
+    #: The binding resource (one of :data:`RESOURCES`).
+    bottleneck: str
+    #: Mean utilisation of the binding resource across servers, in [0, 1]
+    #: — the controller's pressure signal.
+    pressure: float
+    #: Highest single-node utilisation of the binding resource.
+    peak: float
+    #: The node carrying that peak.
+    peak_node: str
+    #: Whether the binding resource crossed :data:`SATURATION_THRESHOLD`.
+    saturated: bool
+    #: The paper-flavoured one-line explanation.
+    narrative: str
+
+    def to_dict(self) -> dict:
+        """A JSON-ready projection (stable key order via sort_keys)."""
+        return {
+            "bottleneck": self.bottleneck,
+            "pressure": self.pressure,
+            "peak": self.peak,
+            "peak_node": self.peak_node,
+            "saturated": self.saturated,
+            "narrative": self.narrative,
+        }
+
+
+@dataclass(frozen=True)
 class SaturationReport:
     """Per-node utilisation plus the named binding resource."""
 
@@ -92,6 +127,19 @@ class SaturationReport:
     def saturated(self) -> bool:
         """Whether the bottleneck resource is actually saturated."""
         return self.resource(self.bottleneck).mean >= SATURATION_THRESHOLD
+
+    @property
+    def summary(self) -> SaturationVerdict:
+        """The machine-readable verdict for this window."""
+        binding = self.resource(self.bottleneck)
+        return SaturationVerdict(
+            bottleneck=self.bottleneck,
+            pressure=binding.mean,
+            peak=binding.peak,
+            peak_node=binding.peak_node,
+            saturated=self.saturated,
+            narrative=self.verdict,
+        )
 
     def render(self) -> str:
         """The per-node utilisation table plus the bottleneck verdict."""
@@ -147,6 +195,7 @@ class SaturationReport:
             "bottleneck": self.bottleneck,
             "saturated": self.saturated,
             "verdict": self.verdict,
+            "summary": self.summary.to_dict(),
         }
 
 
@@ -168,6 +217,10 @@ def analyze_saturation(series: WindowedSeries, cluster: Cluster,
 
     nodes = []
     for node in cluster.servers:
+        if node.retired:
+            # Scaled-in nodes are powered off: their frozen meters would
+            # only dilute the cluster means the controller acts on.
+            continue
         name, role = node.name, node.role
 
         def total(metric: str) -> float:

@@ -28,12 +28,22 @@ from this package.
 from repro.overload.admission import AdmissionGate
 from repro.overload.budget import CircuitBreaker, RetryBudget
 from repro.overload.policy import OverloadPolicy
+from repro.overload.shapes import (ArrivalShape, DiurnalShape,
+                                   FlashCrowdShape, SHAPES, StepShape,
+                                   parse_shape, shape_from_dict)
 
 __all__ = [
     "AdmissionGate",
+    "ArrivalShape",
     "CircuitBreaker",
+    "DiurnalShape",
+    "FlashCrowdShape",
     "OverloadPolicy",
     "RetryBudget",
+    "SHAPES",
+    "StepShape",
+    "parse_shape",
+    "shape_from_dict",
     # lazy (see __getattr__):
     "OverloadPoint",
     "OverloadSweep",

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.overload.shapes import ArrivalShape
 from repro.stores.base import OpType
 from repro.ycsb.client import attempt_op
 from repro.ycsb.generator import (KeySequence, generate_record,
@@ -39,7 +40,8 @@ from repro.ycsb.runner import (PAPER_RECORDS_PER_NODE, BenchmarkConfig,
 from repro.ycsb.stats import ERROR_KINDS
 
 __all__ = ["OverloadPoint", "OverloadSweep", "SaturationEstimate",
-           "find_saturation", "goodput_sweep", "run_overload_point"]
+           "find_saturation", "goodput_sweep", "run_overload_point",
+           "_OpenLoopRun"]
 
 #: Default SLO when the configuration carries no deadline: the paper's
 #: latency figures put healthy operations well under this bound.
@@ -73,6 +75,8 @@ class OverloadPoint:
     max_queue_depth: int
     #: Operations the store refused at admission (queues + gates + shed).
     shed: int
+    #: Arrival-shape projection (``None`` for constant-rate arrivals).
+    shape: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """A JSON-ready projection (stable key order via sort_keys)."""
@@ -93,6 +97,7 @@ class OverloadPoint:
             "mean_latency_s": self.mean_latency_s,
             "max_queue_depth": self.max_queue_depth,
             "shed": self.shed,
+            "shape": self.shape,
         }
 
 
@@ -144,7 +149,9 @@ class _OpenLoopRun:
 
     def __init__(self, config: BenchmarkConfig, offered_rate: float,
                  duration_s: float, warmup_s: float, slo_s: float,
-                 queue_sample_s: float):
+                 queue_sample_s: float,
+                 shape: Optional[ArrivalShape] = None,
+                 timeline_s: Optional[float] = None):
         from repro.sim.rng import RngRegistry
         from repro.stores.registry import store_class
 
@@ -157,6 +164,11 @@ class _OpenLoopRun:
         self.warmup_s = warmup_s
         self.slo_s = slo_s
         self.queue_sample_s = queue_sample_s
+        self.shape = shape
+        self.timeline_s = timeline_s
+        # Per-timeline-window tallies, keyed by int(arrival / timeline_s).
+        self._tl_arrivals: dict = {}
+        self._tl_in_slo: dict = {}
 
         from repro.sim.cluster import Cluster
         from repro.storage.record import APM_SCHEMA
@@ -274,12 +286,19 @@ class _OpenLoopRun:
         latency = sim.now - arrival
         self.latency_total += latency
         self.latency_count += 1
+        bucket = (None if self.timeline_s is None
+                  else int(arrival / self.timeline_s))
+        if bucket is not None:
+            self._tl_arrivals[bucket] = self._tl_arrivals.get(bucket, 0) + 1
         if error:
             self.error_kinds[kind or "store"] += 1
         else:
             self.succeeded += 1
             if latency <= self.slo_s:
                 self.in_slo += 1
+                if bucket is not None:
+                    self._tl_in_slo[bucket] = (
+                        self._tl_in_slo.get(bucket, 0) + 1)
 
     def _arrivals(self):
         interval = 1.0 / self.offered_rate
@@ -301,9 +320,55 @@ class _OpenLoopRun:
         yield self.sim.all_of(procs)
         self._draining = True
 
+    def _shaped_arrivals(self):
+        """Arrivals spaced by the shape's instantaneous rate.
+
+        A separate driver so the constant-rate path above stays
+        byte-identical for every existing export.
+        """
+        end = self.warmup_s + self.duration_s
+        window_start = self.warmup_s
+        procs = []
+        i = 0
+        while self.sim.now < end:
+            arrival = self.sim.now
+            measured = arrival >= window_start
+            if measured:
+                self.window_arrivals += 1
+            op, key, fields, scan_length = self._draw()
+            procs.append(self.sim.process(
+                self._one_op(i, measured, op, key, fields, scan_length),
+                name=f"open-op-{i}"))
+            i += 1
+            rate = self.shape.rate_at(arrival, self.offered_rate)
+            yield self.sim.timeout(1.0 / max(rate, 1e-9))
+        yield self.sim.all_of(procs)
+        self._draining = True
+
+    def timeline(self) -> list:
+        """Per-window arrival/in-SLO tallies (needs ``timeline_s``).
+
+        Windows are indexed by arrival time; the list is sorted and
+        JSON-ready, the availability evidence for recovery assertions.
+        """
+        if self.timeline_s is None:
+            raise ValueError("run was built without timeline_s")
+        buckets = sorted(self._tl_arrivals)
+        return [
+            {
+                "t0": bucket * self.timeline_s,
+                "t1": (bucket + 1) * self.timeline_s,
+                "arrivals": self._tl_arrivals[bucket],
+                "in_slo": self._tl_in_slo.get(bucket, 0),
+            }
+            for bucket in buckets
+        ]
+
     def run(self) -> OverloadPoint:
         self.sim.process(self._monitor(), name="queue-monitor")
-        driver = self.sim.process(self._arrivals(), name="open-arrivals")
+        arrivals = (self._arrivals() if self.shape is None
+                    else self._shaped_arrivals())
+        driver = self.sim.process(arrivals, name="open-arrivals")
         self.sim.run(until=driver)
         config = self.config
         mean_latency = (self.latency_total / self.latency_count
@@ -324,13 +389,15 @@ class _OpenLoopRun:
             mean_latency_s=mean_latency,
             max_queue_depth=self.max_queue_depth,
             shed=self.store.total_shed(),
+            shape=None if self.shape is None else self.shape.to_dict(),
         )
 
 
 def run_overload_point(config: BenchmarkConfig, offered_rate: float, *,
                        duration_s: float = 3.0, warmup_s: float = 0.5,
                        slo_s: Optional[float] = None,
-                       queue_sample_s: float = 0.02) -> OverloadPoint:
+                       queue_sample_s: float = 0.02,
+                       shape: Optional[ArrivalShape] = None) -> OverloadPoint:
     """Drive ``config``'s store open-loop at ``offered_rate`` ops/s.
 
     Arrivals are spaced exactly ``1 / offered_rate`` apart; each
@@ -339,6 +406,11 @@ def run_overload_point(config: BenchmarkConfig, offered_rate: float, *,
     operations have finished — offered load does not yield to
     congestion, unlike the closed-loop harness.  Goodput counts
     successes completing within ``slo_s`` among post-warmup arrivals.
+
+    With ``shape`` (see :mod:`repro.overload.shapes`) the instantaneous
+    rate is ``shape.rate_at(now, offered_rate)`` instead of constant —
+    diurnal swings, flash crowds and load steps for provisioning
+    studies.
     """
     if slo_s is None:
         slo_s = (config.overload.deadline_s
@@ -346,7 +418,7 @@ def run_overload_point(config: BenchmarkConfig, offered_rate: float, *,
                  and config.overload.deadline_s is not None
                  else DEFAULT_SLO_S)
     run = _OpenLoopRun(config, offered_rate, duration_s, warmup_s, slo_s,
-                       queue_sample_s)
+                       queue_sample_s, shape=shape)
     return run.run()
 
 
@@ -414,12 +486,15 @@ def goodput_sweep(config: BenchmarkConfig, *,
                   multipliers=(0.5, 1.0, 1.5, 2.0),
                   duration_s: float = 3.0, warmup_s: float = 0.5,
                   cache=None, use_sustained: bool = True,
-                  include_unprotected: bool = True) -> OverloadSweep:
+                  include_unprotected: bool = True,
+                  shape: Optional[ArrivalShape] = None) -> OverloadSweep:
     """Sweep offered load across ``multipliers`` x the saturation rate.
 
     ``config.overload`` must be set: each multiplier runs once with the
     policy (protected) and — unless ``include_unprotected`` is false —
     once with ``overload=None`` (the congestion-collapse baseline).
+    With ``shape``, every point's arrivals follow the shape with the
+    multiplied rate as its base.
     """
     if config.overload is None:
         raise ValueError("goodput_sweep needs config.overload set; "
@@ -431,10 +506,12 @@ def goodput_sweep(config: BenchmarkConfig, *,
     for multiplier in sweep.multipliers:
         rate = max(1.0, multiplier * saturation.rate)
         sweep.protected.append(run_overload_point(
-            config, rate, duration_s=duration_s, warmup_s=warmup_s))
+            config, rate, duration_s=duration_s, warmup_s=warmup_s,
+            shape=shape))
         if include_unprotected:
             bare = replace(config, overload=None)
             sweep.unprotected.append(run_overload_point(
                 bare, rate, duration_s=duration_s, warmup_s=warmup_s,
-                slo_s=(config.overload.deadline_s or DEFAULT_SLO_S)))
+                slo_s=(config.overload.deadline_s or DEFAULT_SLO_S),
+                shape=shape))
     return sweep

@@ -124,6 +124,10 @@ class Node:
         self.page_cache = PageCache(spec.cache_bytes)
         #: Liveness flag driven by the fault-injection layer.
         self.up = True
+        #: Set when the control plane scales the node in: the node stays
+        #: in :attr:`Cluster.servers` (stable indices for in-flight ops)
+        #: but no longer accrues node-hours or receives new work.
+        self.retired = False
         #: Monotone restart counter: bumps on every recovery, so stores
         #: can tell a freshly restarted node (cold caches) from the one
         #: that crashed.
@@ -200,11 +204,61 @@ class Cluster:
                  role="client")
             for i in range(max(1, n_clients))
         ]
+        #: Monotone server-name sequence: names are never reused, even
+        #: after a retire, so NIC attachments stay unambiguous.
+        self._server_seq = n_servers
 
     @property
     def n_servers(self) -> int:
-        """Number of storage server nodes."""
+        """Number of storage server nodes ever provisioned (incl. retired)."""
         return len(self.servers)
+
+    @property
+    def active_servers(self) -> list[Node]:
+        """Server nodes currently provisioned (not scaled in)."""
+        return [node for node in self.servers if not node.retired]
+
+    @property
+    def n_active(self) -> int:
+        """Number of provisioned (non-retired) server nodes."""
+        return sum(1 for node in self.servers if not node.retired)
+
+    @property
+    def next_server_name(self) -> str:
+        """The name :meth:`add_server` will assign next (decision logs)."""
+        return f"server-{self._server_seq}"
+
+    def add_server(self) -> Node:
+        """Provision one more server node (scale-out).
+
+        The node is appended to :attr:`servers` — existing indices never
+        shift, so in-flight operations holding a server index stay
+        valid.  Raises when the cluster is already at ``spec.max_nodes``
+        active servers (the paper's fixed fleet is the rental ceiling).
+        """
+        if self.n_active >= self.spec.max_nodes:
+            raise ValueError(
+                f"cluster {self.spec.name} is at its {self.spec.max_nodes}"
+                f"-node ceiling"
+            )
+        node = Node(self.sim, self.spec.node,
+                    f"server-{self._server_seq}", self.network)
+        self._server_seq += 1
+        self.servers.append(node)
+        return node
+
+    def retire_server(self, node: Node) -> None:
+        """Decommission ``node`` (scale-in) after its data has drained.
+
+        The node keeps its slot in :attr:`servers` but is marked
+        :attr:`Node.retired` and powered off like a crash: queued grants
+        drain, the NIC drops, new claims are refused.  Unlike a crash it
+        is never a candidate for replacement.
+        """
+        if node.retired:
+            return
+        node.retired = True
+        node.fail()
 
     def node(self, name: str) -> Node:
         """Look up a server or client node by name (fault targeting)."""

@@ -190,6 +190,9 @@ class Store:
 
     name: str = "abstract"
     supports_scans: bool = True
+    #: Whether rebalance data movement streams through the source and
+    #: destination disks (in-memory stores ship over the NIC only).
+    rebalance_uses_disk: bool = True
 
     def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
                  profile: Optional[ServiceProfile] = None):
@@ -213,6 +216,9 @@ class Store:
         #: Connection-pool gates, populated by stores that admission-
         #: control at the client driver (MySQL, Voldemort).
         self._gates: list = []
+        #: Registry captured by :meth:`attach_metrics` so servers added
+        #: later (scale-out) get their telemetry registered too.
+        self._registry = None
 
     # -- metrics ---------------------------------------------------------------
 
@@ -225,6 +231,7 @@ class Store:
         extend it with engine-level probes (memtable bytes, SSTable
         counts, handler queues, replication fan-out).
         """
+        self._registry = registry
         registry.probe("store_sessions",
                        lambda: float(self.sessions_open), store=self.name)
         registry.meter("store_errors_total",
@@ -239,6 +246,28 @@ class Store:
         registry.probe("store_overload_queue_depth",
                        lambda: float(self.overload_queue_depth()),
                        store=self.name)
+        for index in range(len(self.cluster.servers)):
+            self._attach_node_metrics(registry, index)
+
+    def _attach_node_metrics(self, registry, index: int) -> None:
+        """Register per-server telemetry for server ``index``.
+
+        Concrete stores override this instead of looping inside
+        :meth:`attach_metrics`, so a server added by the control plane
+        mid-run gets exactly the same instrumentation as the originals.
+        """
+
+    def _note_server_added(self, index: int) -> None:
+        """Wire telemetry for a server appended after :meth:`attach_metrics`."""
+        if self._registry is None:
+            return
+        if self._node_ops is not None:
+            self._node_ops.append(
+                self._registry.counter(
+                    "store_node_ops",
+                    node=self.cluster.servers[index].name,
+                    store=self.name))
+        self._attach_node_metrics(self._registry, index)
 
     def note_node_op(self, node_index: int) -> None:
         """Count one server-side op on server ``node_index``.
@@ -341,6 +370,58 @@ class Store:
 
         Cassandra overrides this to replay hinted handoffs.
         """
+
+    # -- topology (elastic control plane) -------------------------------------
+
+    def members(self) -> list[int]:
+        """Indices into ``cluster.servers`` this store currently routes to.
+
+        Fixed-topology stores route to every server; elastic stores
+        override :meth:`grow`/:meth:`shrink` and keep a member list.
+        """
+        return list(range(self.cluster.n_servers))
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Functionally admit ``node`` (already in ``cluster.servers``).
+
+        Rebalances ownership structures and *moves the data at once* —
+        the routing switch is atomic at decision time, and mutations
+        already in flight redirect to the current owner at apply time
+        (see :meth:`rebalance_moves`), so no acknowledged write can fall
+        between old and new owners.  The
+        physical cost is returned, not charged: a list of
+        ``(src_index, dst_index, nbytes)`` moves for the topology layer
+        to bill against simulated disks and NICs.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support online topology changes")
+
+    def shrink(self, index: int) -> list[tuple[int, int, int]]:
+        """Functionally drain server ``index`` ahead of its retirement.
+
+        The inverse of :meth:`grow`: ownership moves off the server and
+        its data is re-homed immediately; the returned moves carry the
+        simulated IO cost.  The caller retires the node afterwards.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support online topology changes")
+
+    def rebalance_moves(self) -> list[tuple[int, int, int]]:
+        """Catch-up sweep: re-home anything that missed the last rebalance.
+
+        :meth:`grow`/:meth:`shrink` switch routing atomically, but an
+        operation *in flight* across the switch was routed under the old
+        map and its server-side apply redirects to the current owner
+        (the MOVED / NotServingRegion retry every real client performs).
+        Billing that redirected landing is this sweep's job: the
+        topology layer calls it after charging the main move bill and
+        keeps calling until a pass finds nothing stale — the catch-up
+        passes every real resharding tool runs before declaring a
+        migration complete.  It doubles as a conformance oracle: on a
+        quiesced store a clean pass proves no key is stranded off its
+        owner.  The default (fixed-topology stores) has nothing to do.
+        """
+        return []
 
     # -- connection policy ---------------------------------------------------
 

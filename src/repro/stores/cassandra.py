@@ -80,15 +80,17 @@ class CassandraStore(Store):
         #: SSTable block compression (paper future work): < 1.0 shrinks
         #: on-disk bytes but charges compress/decompress CPU per op.
         self.compression_ratio = compression_ratio
-        self.ring = TokenRing(cluster.n_servers)
         group = 1 if commitlog_sync == "batch" else None
         if lsm_config is None:
             lsm_config = (LSMConfig(group_commit_ops=group) if group
                           else LSMConfig())
+        self._lsm_config = lsm_config
         self.engines = [
             LSMEngine(lsm_config, seed=i, name=f"cassandra-{i}")
             for i in range(cluster.n_servers)
         ]
+        self._members = list(range(cluster.n_servers))
+        self._rebuild_ring()
         #: Hinted handoff queues: mutations for a down replica, held by
         #: the coordinator side and replayed when the node returns
         #: (Cassandra's standard path for writes during an outage).
@@ -98,19 +100,40 @@ class CassandraStore(Store):
         #: Replica fan-out counter; set by :meth:`attach_metrics`.
         self._fanout = None
 
+    def _rebuild_ring(self) -> None:
+        """Recompute token assignment over the current members.
+
+        The ring always carries one (optimal) token per member;
+        ``_ring_map`` translates a ring slot to its server index, so
+        slots stay dense while server indices stay stable.
+        """
+        self.ring = TokenRing(len(self._members))
+        self._ring_map = list(self._members)
+
+    def owner_of(self, key: str) -> int:
+        """Server index of the token owner of ``key``."""
+        return self._ring_map[self.ring.owner_of(key)]
+
+    def replicas_of(self, key: str,
+                    replication_factor: int = 1) -> list[int]:
+        """Server indices of the replica set of ``key``, owner first."""
+        return [self._ring_map[slot]
+                for slot in self.ring.replicas_of(key, replication_factor)]
+
     def attach_metrics(self, registry) -> None:
         """Add LSM engine probes, hint meters and the fan-out counter."""
         super().attach_metrics(registry)
-        from repro.metrics.instrument import register_lsm_engine
-        for i, engine in enumerate(self.engines):
-            register_lsm_engine(registry, engine, store=self.name,
-                                node=self.cluster.servers[i].name)
         registry.meter("cassandra_hints_queued_total",
                        lambda: self.hints_queued, store=self.name)
         registry.meter("cassandra_hints_replayed_total",
                        lambda: self.hints_replayed, store=self.name)
         self._fanout = registry.counter("store_replica_fanout_total",
                                         store=self.name)
+
+    def _attach_node_metrics(self, registry, index: int) -> None:
+        from repro.metrics.instrument import register_lsm_engine
+        register_lsm_engine(registry, self.engines[index], store=self.name,
+                            node=self.cluster.servers[index].name)
 
     #: CPU per operation spent in the (de)compression codec when SSTable
     #: compression is enabled.
@@ -142,8 +165,8 @@ class CassandraStore(Store):
         """
         loaded = 0
         for record in records:
-            for replica in self.ring.replicas_of(record.key,
-                                                 self.replication_factor):
+            for replica in self.replicas_of(record.key,
+                                            self.replication_factor):
                 self.engines[replica].put(record.key, dict(record.fields))
             loaded += 1
             if loaded % 4000 == 0:
@@ -186,7 +209,7 @@ class CassandraStore(Store):
         unavailable — at RF=1 a single crash therefore blacks out that
         token range, exactly the single-copy semantics the paper ran.
         """
-        for replica in self.ring.replicas_of(key, self.replication_factor):
+        for replica in self.replicas_of(key, self.replication_factor):
             if self.node_is_up(replica):
                 return replica
         raise UnavailableError(
@@ -232,6 +255,81 @@ class CassandraStore(Store):
         return [int(engine.disk_bytes * self.compression_ratio)
                 for engine in self.engines]
 
+    # -- topology -------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def _require_rf1(self) -> None:
+        if self.replication_factor != 1:
+            raise ValueError(
+                "online topology changes are modelled for the paper's "
+                "replication_factor=1 deployment only")
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Bootstrap a node: token handoff streams its ranges over.
+
+        The ring re-splits into one optimal token per member (the
+        paper's hand-assigned-token discipline, Section 6) and every key
+        whose token owner changed streams from its old owner — real
+        Cassandra's bootstrap/``move`` flow.
+        """
+        self._require_rf1()
+        index = self.cluster.servers.index(node)
+        if index != len(self.engines):  # pragma: no cover - defensive
+            raise ValueError("servers must be admitted in cluster order")
+        self.engines.append(
+            LSMEngine(self._lsm_config, seed=index,
+                      name=f"cassandra-{index}"))
+        self._members.append(index)
+        self._rebuild_ring()
+        moves = self._migrate()
+        self._note_server_added(index)
+        return moves
+
+    def shrink(self, index: int) -> list[tuple[int, int, int]]:
+        """Decommission a node: its token ranges stream to the survivors."""
+        self._require_rf1()
+        if index not in self._members:
+            raise ValueError(f"server {index} is not a member")
+        if len(self._members) == 1:
+            raise ValueError("cannot shrink below one node")
+        self._members.remove(index)
+        self._rebuild_ring()
+        return self._migrate()
+
+    def rebalance_moves(self) -> list[tuple[int, int, int]]:
+        """Catch-up pass: stream any record off a non-owner node.
+
+        Only meaningful under the RF=1 deployment topology changes are
+        modelled for — with replication every replica intentionally
+        holds keys it does not "own", so the sweep must not run.
+        """
+        if self.replication_factor != 1:
+            return []
+        return self._migrate()
+
+    def _migrate(self) -> list[tuple[int, int, int]]:
+        """Stream every record to its token owner; returns the bill."""
+        record_bytes = int(
+            (self.schema.key_length + self.schema.raw_value_bytes)
+            * self.compression_ratio) or 1
+        moved: dict[tuple[int, int], int] = {}
+        for src, engine in enumerate(self.engines):
+            if engine.record_count == 0:
+                continue
+            rows, __ = engine.scan("", engine.record_count)
+            stale = [(key, fields) for key, fields in rows
+                     if self.owner_of(key) != src]
+            for key, fields in stale:
+                dst = self.owner_of(key)
+                self.engines[dst].put(key, dict(fields))
+                engine.delete(key)
+                pair = (src, dst)
+                moved[pair] = moved.get(pair, 0) + record_bytes
+        return [(src, dst, nbytes)
+                for (src, dst), nbytes in sorted(moved.items())]
+
     # -- server-side handlers (run on the owner node) -------------------------
 
     def _background_io(self, node: Node, nbytes: int):
@@ -257,6 +355,13 @@ class CassandraStore(Store):
 
     def _apply_write(self, owner: int, key: str,
                      fields: Mapping[str, str]):
+        if self.replication_factor == 1:
+            # A write routed before a token move reaches the old owner
+            # after its range streamed away; the replica forwards it to
+            # the current token owner (the pending-range write real
+            # Cassandra performs during bootstrap/decommission).  With
+            # RF > 1 ``owner`` is a deliberate replica choice — leave it.
+            owner = self.owner_of(key)
         self._maybe_shed(owner)
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
@@ -375,7 +480,7 @@ class CassandraSession(StoreSession):
     def insert(self, key: str, fields: Mapping[str, str]):
         store = self.store
         if store.replication_factor == 1:
-            owner = store.ring.owner_of(key)
+            owner = store.owner_of(key)
             if not store.node_is_up(owner):
                 raise UnavailableError(
                     f"single replica of {key!r} is down (RF=1)"
@@ -400,7 +505,7 @@ class CassandraSession(StoreSession):
         """
         store = self.store
         sim = store.sim
-        replicas = store.ring.replicas_of(key, store.replication_factor)
+        replicas = store.replicas_of(key, store.replication_factor)
         request = store.request_bytes(key, fields, with_payload=True)
         response = store.response_bytes(0)
         coordinator = self._next_coordinator()
@@ -470,10 +575,12 @@ class CassandraSession(StoreSession):
         owner = store.live_replica_of(key)
 
         def handler():
-            store.note_node_op(owner)
-            node = store.cluster.servers[owner]
+            target = (store.owner_of(key)
+                      if store.replication_factor == 1 else owner)
+            store.note_node_op(target)
+            node = store.cluster.servers[target]
             yield from node.cpu(store.profile.write_cpu)
-            store.engines[owner].delete(key)
+            store.engines[target].delete(key)
             return True
 
         result = yield from self._route(

@@ -98,10 +98,12 @@ class HBaseStore(Store):
         # (Cluster D) rather than in the page cache.
         config = lsm_config or LSMConfig(group_commit_ops=48,
                                          bloom_enabled=False)
+        self._lsm_config = config
         self.region_servers = [
             RegionServer(self, node, i)
             for i, node in enumerate(cluster.servers)
         ]
+        self._members = list(range(cluster.n_servers))
         self.n_regions = self.REGIONS_PER_SERVER * cluster.n_servers
         self._hfile_paths: dict[int, str] = {}
         #: Current region -> region-server assignment (the META table);
@@ -119,48 +121,50 @@ class HBaseStore(Store):
             self.hdfs.create(path)
 
     def attach_metrics(self, registry) -> None:
+        super().attach_metrics(registry)
+        registry.meter("hbase_regions_reassigned_total",
+                       lambda: self.regions_reassigned, store=self.name)
+
+    def _attach_node_metrics(self, registry, index: int) -> None:
         """Add handler-queue gauges and per-server region aggregates.
 
         Engine quantities aggregate over each server's *current* region
         set, so probes stay correct across master reassignments.
         """
-        super().attach_metrics(registry)
-        for server in self.region_servers:
-            labels = {"store": self.name, "node": server.node.name}
-            registry.probe(
-                "hbase_handler_queue",
-                lambda s=server: s.handlers.queue_length, **labels)
-            registry.meter(
-                "store_executor_slot_seconds",
-                server.handlers.slot_seconds, **labels)
-            registry.probe(
-                "store_executor_slots",
-                lambda s=server: float(s.handlers.capacity), **labels)
-            registry.probe(
-                "hbase_regions",
-                lambda s=server: len(s.regions), **labels)
-            registry.probe(
-                "lsm_memtable_bytes",
-                lambda s=server: sum(e.memtable.size_bytes
-                                     for e in s.regions.values()), **labels)
-            registry.probe(
-                "lsm_sstables",
-                lambda s=server: sum(len(e.sstables)
-                                     for e in s.regions.values()), **labels)
-            registry.probe(
-                "lsm_compaction_backlog",
-                lambda s=server: sum(e.compaction_backlog
-                                     for e in s.regions.values()), **labels)
-            registry.meter(
-                "lsm_wal_syncs_total",
-                lambda s=server: sum(e.commit_log.syncs
-                                     for e in s.regions.values()), **labels)
-            registry.meter(
-                "lsm_flushes_total",
-                lambda s=server: sum(e.flushes
-                                     for e in s.regions.values()), **labels)
-        registry.meter("hbase_regions_reassigned_total",
-                       lambda: self.regions_reassigned, store=self.name)
+        server = self.region_servers[index]
+        labels = {"store": self.name, "node": server.node.name}
+        registry.probe(
+            "hbase_handler_queue",
+            lambda s=server: s.handlers.queue_length, **labels)
+        registry.meter(
+            "store_executor_slot_seconds",
+            server.handlers.slot_seconds, **labels)
+        registry.probe(
+            "store_executor_slots",
+            lambda s=server: float(s.handlers.capacity), **labels)
+        registry.probe(
+            "hbase_regions",
+            lambda s=server: len(s.regions), **labels)
+        registry.probe(
+            "lsm_memtable_bytes",
+            lambda s=server: sum(e.memtable.size_bytes
+                                 for e in s.regions.values()), **labels)
+        registry.probe(
+            "lsm_sstables",
+            lambda s=server: sum(len(e.sstables)
+                                 for e in s.regions.values()), **labels)
+        registry.probe(
+            "lsm_compaction_backlog",
+            lambda s=server: sum(e.compaction_backlog
+                                 for e in s.regions.values()), **labels)
+        registry.meter(
+            "lsm_wal_syncs_total",
+            lambda s=server: sum(e.commit_log.syncs
+                                 for e in s.regions.values()), **labels)
+        registry.meter(
+            "lsm_flushes_total",
+            lambda s=server: sum(e.flushes
+                                 for e in s.regions.values()), **labels)
 
     @classmethod
     def default_profile(cls) -> ServiceProfile:
@@ -254,6 +258,59 @@ class HBaseStore(Store):
     def engine_of(self, region_id: int) -> LSMEngine:
         """The LSM store behind ``region_id``."""
         return self.server_of_region(region_id).regions[region_id]
+
+    # -- topology -------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Add a region server; the balancer moves regions onto it.
+
+        Region data lives in HDFS, so a move is a META rewrite plus the
+        new host opening the region's files — billed as a stream of the
+        region's recent on-disk state from the old host's DataNode.
+        The region count stays fixed (the load pattern never splits).
+        """
+        index = self.cluster.servers.index(node)
+        if index != len(self.region_servers):  # pragma: no cover - defensive
+            raise ValueError("servers must be admitted in cluster order")
+        server = RegionServer(self, node, index)
+        if self.overload is not None and self.overload.max_queue:
+            server.handlers.max_queue = self.overload.max_queue
+        self.region_servers.append(server)
+        self._members.append(index)
+        moves = self._rebalance_regions()
+        self._note_server_added(index)
+        return moves
+
+    def shrink(self, index: int) -> list[tuple[int, int, int]]:
+        """Decommission a region server: its regions move to survivors."""
+        if index not in self._members:
+            raise ValueError(f"server {index} is not a member")
+        if len(self._members) == 1:
+            raise ValueError("cannot shrink below one region server")
+        self._members.remove(index)
+        return self._rebalance_regions()
+
+    def _rebalance_regions(self) -> list[tuple[int, int, int]]:
+        """Restore the balanced round-robin assignment over members."""
+        members = self._members
+        moved: dict[tuple[int, int], int] = {}
+        for region_id in range(self.n_regions):
+            want = members[region_id % len(members)]
+            have = self._assignment[region_id]
+            if have == want:
+                continue
+            engine = self.region_servers[have].regions.pop(region_id)
+            self.region_servers[want].add_region(region_id, engine)
+            self._assignment[region_id] = want
+            self.regions_reassigned += 1
+            pair = (have, want)
+            moved[pair] = moved.get(pair, 0) + max(4096,
+                                                   engine.disk_bytes // 4)
+        return [(src, dst, nbytes)
+                for (src, dst), nbytes in sorted(moved.items())]
 
     # -- deployment ----------------------------------------------------------
 
@@ -369,8 +426,14 @@ class HBaseStore(Store):
             self.note_node_op(server.index)
             yield from server.node.cpu(self.profile.write_cpu)
             region_id = self.region_of(key)
-            bill = server.regions[region_id].put(key, dict(fields))
-            self._persist_bill(server, region_id, bill)
+            # The client routed this put under an old META view; if the
+            # balancer moved the region while the RPC was in flight, the
+            # stale host answers NotServingRegionException and the put is
+            # retried at the region's current host — resolved here, at
+            # execution time, so the mutation lands in the live region.
+            owner = self.server_of_region(region_id)
+            bill = owner.regions[region_id].put(key, dict(fields))
+            self._persist_bill(owner, region_id, bill)
         return len(puts)
 
     def _serve_scan(self, region_id: int, start_key: str, count: int):

@@ -62,10 +62,8 @@ class MySQLStore(Store):
                  profile: ServiceProfile | None = None,
                  binlog_enabled: bool = True, btree_order: int = 100):
         super().__init__(cluster, schema, profile)
-        names = [node.name for node in cluster.servers]
-        self.ring: ConsistentHashRing = jdbc_ring(names)
-        self._index_of = {name: i for i, name in enumerate(names)}
         n = cluster.n_servers
+        self._btree_order = btree_order
         self.tables = [BPlusTree(order=btree_order) for __ in range(n)]
         self.binlog_enabled = binlog_enabled
         self.binlog_bytes = [0 for __ in range(n)]
@@ -73,18 +71,25 @@ class MySQLStore(Store):
         # MVCC purge accounting, per shard: versions created minus purged.
         self._versions_created = [0.0 for __ in range(n)]
         self._purged_until = [0.0 for __ in range(n)]
+        self._members = list(range(n))
+        self._rebuild_routing()
 
-    def attach_metrics(self, registry) -> None:
+    def _rebuild_routing(self) -> None:
+        """Point the JDBC ring at the current member servers."""
+        names = [self.cluster.servers[i].name for i in self._members]
+        self.ring: ConsistentHashRing = jdbc_ring(names)
+        self._index_of = dict(zip(names, self._members))
+
+    def _attach_node_metrics(self, registry, index: int) -> None:
         """Add binlog volume, MVCC purge backlog and table size probes."""
-        super().attach_metrics(registry)
-        for i, node in enumerate(self.cluster.servers):
-            labels = {"store": self.name, "node": node.name}
-            registry.meter("mysql_binlog_bytes",
-                           lambda i=i: self.binlog_bytes[i], **labels)
-            registry.probe("mysql_purge_backlog",
-                           lambda i=i: self._version_backlog(i), **labels)
-            registry.probe("mysql_table_rows",
-                           lambda t=self.tables[i]: len(t), **labels)
+        node = self.cluster.servers[index]
+        labels = {"store": self.name, "node": node.name}
+        registry.meter("mysql_binlog_bytes",
+                       lambda i=index: self.binlog_bytes[i], **labels)
+        registry.probe("mysql_purge_backlog",
+                       lambda i=index: self._version_backlog(i), **labels)
+        registry.probe("mysql_table_rows",
+                       lambda t=self.tables[index]: len(t), **labels)
 
     @classmethod
     def default_profile(cls) -> ServiceProfile:
@@ -133,6 +138,67 @@ class MySQLStore(Store):
             ]
         else:
             self._gates = []
+
+    # -- topology -------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Admit a server: JDBC ring remap + row copy to the new shard.
+
+        The operator adds the server to the sharding client's ring; rows
+        whose consistent-hash owner changed are dumped from the old
+        shard and loaded into the new one.
+        """
+        index = self.cluster.servers.index(node)
+        if index != len(self.tables):  # pragma: no cover - defensive
+            raise ValueError("servers must be admitted in cluster order")
+        self.tables.append(BPlusTree(order=self._btree_order))
+        self.binlog_bytes.append(0)
+        self._versions_created.append(0.0)
+        self._purged_until.append(0.0)
+        if self.overload is not None and self.overload.max_queue:
+            self._gates.append(
+                AdmissionGate(self.overload.max_queue,
+                              f"mysql-pool:{node.name}"))
+        self._members.append(index)
+        self._rebuild_routing()
+        moves = self._migrate()
+        self._note_server_added(index)
+        return moves
+
+    def shrink(self, index: int) -> list[tuple[int, int, int]]:
+        """Drain a server: drop it from the ring, re-home its rows."""
+        if index not in self._members:
+            raise ValueError(f"server {index} is not a member")
+        if len(self._members) == 1:
+            raise ValueError("cannot shrink below one server")
+        self._members.remove(index)
+        self._rebuild_routing()
+        return self._migrate()
+
+    def rebalance_moves(self) -> list[tuple[int, int, int]]:
+        """Catch-up pass: copy any row that landed off its ring owner."""
+        return self._migrate()
+
+    def _migrate(self) -> list[tuple[int, int, int]]:
+        """Re-home every row to its ring owner; returns the move bill."""
+        per_row = self._usage.bytes_per_record(self.schema)
+        moved: dict[tuple[int, int], int] = {}
+        for src, table in enumerate(self.tables):
+            stale = [(key, value) for key, value in table.items()
+                     if self.shard_of(key) != src]
+            for key, value in stale:
+                dst = self.shard_of(key)
+                table.remove(key)
+                self.tables[dst].put(key, value)
+                # The moved rows' stale versions stay behind on the
+                # source until its purge thread catches up.
+                pair = (src, dst)
+                moved[pair] = moved.get(pair, 0) + int(per_row)
+        return [(src, dst, nbytes)
+                for (src, dst), nbytes in sorted(moved.items())]
 
     # -- deployment ----------------------------------------------------------
 
@@ -186,6 +252,11 @@ class MySQLStore(Store):
         return dict(value) if value is not None else None
 
     def _apply_write(self, shard: int, key: str, fields: Mapping[str, str]):
+        # A write routed under the old JDBC ring lands after the reshard
+        # copied its rows away; the statement executes against the
+        # current ring owner (the sharding driver's remap-and-retry) so
+        # the acknowledged row is never stranded on the old shard.
+        shard = self.shard_of(key)
         self.note_node_op(shard)
         node = self.cluster.servers[shard]
         yield from node.cpu(self.server_cost(self.profile.write_cpu))
@@ -294,10 +365,11 @@ class MySQLSession(StoreSession):
 
     def scan(self, start_key: str, count: int):
         store = self.store
-        n = store.cluster.n_servers
-        if n == 1:
+        members = store.members()
+        if len(members) == 1:
+            only = members[0]
             rows = yield from self._call(
-                0, store._apply_local_scan(0, start_key, count),
+                only, store._apply_local_scan(only, start_key, count),
                 store.request_bytes(start_key), store.response_bytes(count),
             )
             return rows
@@ -306,7 +378,7 @@ class MySQLSession(StoreSession):
         # parallel but the result streams serialise on the client NIC.
         legs = [
             self.sim_process_for_shard(shard, start_key, count)
-            for shard in range(n)
+            for shard in members
         ]
         results = yield store.sim.all_of(legs)
         merged: list[tuple[str, dict[str, str]]] = []
@@ -343,10 +415,11 @@ class MySQLSession(StoreSession):
         shard = store.shard_of(key)
 
         def handler():
-            store.note_node_op(shard)
-            node = store.cluster.servers[shard]
+            owner = store.shard_of(key)  # ring remap-and-retry
+            store.note_node_op(owner)
+            node = store.cluster.servers[owner]
             yield from node.cpu(store.profile.write_cpu)
-            removed, __ = store.tables[shard].remove(key)
+            removed, __ = store.tables[owner].remove(key)
             return removed
 
         result = yield from self._call(

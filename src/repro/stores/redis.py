@@ -44,6 +44,8 @@ class RedisStore(Store):
 
     name = "redis"
     supports_scans = True
+    #: Redis keeps everything in RAM: resharding ships over the NIC only.
+    rebalance_uses_disk = False
 
     def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
                  profile: ServiceProfile | None = None,
@@ -53,12 +55,8 @@ class RedisStore(Store):
         "balanced" for the ablation that replaces Jedis's ring with a
         well-balanced one."""
         super().__init__(cluster, schema, profile)
-        names = [node.name for node in cluster.servers]
-        if hash_algorithm == "balanced":
-            self.ring: ConsistentHashRing = jdbc_ring(names)
-        else:
-            self.ring = jedis_ring(names, hash_algorithm)
-        self._index_of = {name: i for i, name in enumerate(names)}
+        self._hash_algorithm = hash_algorithm
+        self._members = list(range(cluster.n_servers))
         self.shards = [
             HashStore(schema, max_memory_bytes=node.spec.cache_bytes,
                       seed=i)
@@ -70,28 +68,37 @@ class RedisStore(Store):
                      component="cpu")
             for node in cluster.servers
         ]
+        self._rebuild_routing()
 
-    def attach_metrics(self, registry) -> None:
+    def _rebuild_routing(self) -> None:
+        """Point the client ring at the current member instances."""
+        names = [self.cluster.servers[i].name for i in self._members]
+        if self._hash_algorithm == "balanced":
+            self.ring: ConsistentHashRing = jdbc_ring(names)
+        else:
+            self.ring = jedis_ring(names, self._hash_algorithm)
+        self._index_of = dict(zip(names, self._members))
+
+    def _attach_node_metrics(self, registry, index: int) -> None:
         """Add event-loop saturation gauges and shard memory probes.
 
         The single-threaded loop is Redis's serialisation point, so its
         busy time — not the node's multi-core CPU — is the store-level
         saturation signal.
         """
-        super().attach_metrics(registry)
-        for i, node in enumerate(self.cluster.servers):
-            labels = {"store": self.name, "node": node.name}
-            registry.meter("redis_loop_busy_seconds",
-                           self.event_loops[i].busy_seconds, **labels)
-            registry.meter("store_executor_slot_seconds",
-                           self.event_loops[i].slot_seconds, **labels)
-            registry.probe("store_executor_slots", lambda: 1.0, **labels)
-            registry.probe("redis_loop_queue",
-                           lambda r=self.event_loops[i]: r.queue_length,
-                           **labels)
-            registry.probe("redis_used_memory_bytes",
-                           lambda s=self.shards[i]: s.used_memory_bytes,
-                           **labels)
+        node = self.cluster.servers[index]
+        labels = {"store": self.name, "node": node.name}
+        registry.meter("redis_loop_busy_seconds",
+                       self.event_loops[index].busy_seconds, **labels)
+        registry.meter("store_executor_slot_seconds",
+                       self.event_loops[index].slot_seconds, **labels)
+        registry.probe("store_executor_slots", lambda: 1.0, **labels)
+        registry.probe("redis_loop_queue",
+                       lambda r=self.event_loops[index]: r.queue_length,
+                       **labels)
+        registry.probe("redis_used_memory_bytes",
+                       lambda s=self.shards[index]: s.used_memory_bytes,
+                       **labels)
 
     @classmethod
     def default_profile(cls) -> ServiceProfile:
@@ -131,6 +138,72 @@ class RedisStore(Store):
         of growing an unbounded backlog behind the single thread.
         """
         return self.event_loops
+
+    # -- topology -------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Admit a new standalone instance: client ring remap.
+
+        The operator restarts the sharded clients with one more entry in
+        the Jedis ring; every key whose ring owner changed is MIGRATEd
+        to its new instance (~1/n of the data for a ring of n).
+        """
+        index = self.cluster.servers.index(node)
+        if index != len(self.shards):  # pragma: no cover - defensive
+            raise ValueError("servers must be admitted in cluster order")
+        self.shards.append(
+            HashStore(self.schema, max_memory_bytes=node.spec.cache_bytes,
+                      seed=index))
+        loop = Resource(self.cluster.sim, 1, f"redis-loop:{node.name}",
+                        component="cpu")
+        if self.overload is not None and self.overload.max_queue:
+            loop.max_queue = self.overload.max_queue
+        self.event_loops.append(loop)
+        self._members.append(index)
+        self._rebuild_routing()
+        moves = self._migrate()
+        self._note_server_added(index)
+        return moves
+
+    def shrink(self, index: int) -> list[tuple[int, int, int]]:
+        """Drain one instance: remove it from the ring, MIGRATE its keys."""
+        if index not in self._members:
+            raise ValueError(f"server {index} is not a member")
+        if len(self._members) == 1:
+            raise ValueError("cannot shrink below one instance")
+        self._members.remove(index)
+        self._rebuild_routing()
+        return self._migrate()
+
+    def rebalance_moves(self) -> list[tuple[int, int, int]]:
+        """Catch-up pass: MIGRATE any key that landed off its ring owner."""
+        return self._migrate()
+
+    def _migrate(self) -> list[tuple[int, int, int]]:
+        """Re-home every key to its ring owner; returns the move bill."""
+        record_bytes = self.schema.key_length + self.schema.raw_value_bytes
+        moved: dict[tuple[int, int], int] = {}
+        for src, shard in enumerate(self.shards):
+            if len(shard) == 0:
+                continue
+            for key, fields in shard.scan("", len(shard)):
+                dst = self.shard_of(key)
+                if dst == src:
+                    continue
+                if self.shards[dst].hset(key, fields):
+                    shard.delete(key)
+                    pair = (src, dst)
+                    moved[pair] = moved.get(pair, 0) + record_bytes
+                else:
+                    # Destination OOM mid-reshard: the key stays put (and
+                    # unreachable), exactly the operational hazard the
+                    # paper's footnote 7 describes.  Counted as an error.
+                    self.errors += 1
+        return [(src, dst, nbytes)
+                for (src, dst), nbytes in sorted(moved.items())]
 
     # -- deployment ----------------------------------------------------------
 
@@ -201,6 +274,11 @@ class RedisStore(Store):
 
     def _apply_write(self, shard_index: int, key: str,
                      fields: Mapping[str, str]):
+        # A write routed before a reshard reaches the old instance after
+        # its keys MIGRATEd away; like the cluster MOVED redirect, it is
+        # applied at the current ring owner so the ack stays truthful.
+        shard_index = self.shard_of(key)
+
         def action():
             ok = self.shards[shard_index].hset(key, fields)
             if not ok:
@@ -221,6 +299,7 @@ class RedisStore(Store):
         return result
 
     def _apply_delete(self, shard_index: int, key: str):
+        shard_index = self.shard_of(key)  # MOVED redirect, as for writes
         result = yield from self._on_loop(
             shard_index, self.profile.write_cpu,
             lambda: self.shards[shard_index].delete(key),

@@ -54,25 +54,35 @@ class VoldemortStore(Store):
                  btree_order: int = 8):
         super().__init__(cluster, schema, profile)
         n = cluster.n_servers
+        self._btree_order = btree_order
+        # The partition count is fixed at cluster creation (as in real
+        # Voldemort); rebalancing moves whole partitions between nodes.
         self.ring = TokenRing(n * self.PARTITIONS_PER_NODE)
         self.trees = [BPlusTree(order=btree_order) for __ in range(n)]
         self.log_bytes = [0 for __ in range(n)]
         self._entry_bytes = len(encode_bdb_entry(self._sample_record()))
+        self._members = list(range(n))
+        self._rebuild_owner_map()
+
+    def _rebuild_owner_map(self) -> None:
+        """Round-robin the fixed partitions over the current members."""
+        members = self._members
+        self._owner_map = [members[p % len(members)]
+                           for p in range(len(self.ring.tokens))]
 
     def _sample_record(self) -> Record:
         return Record("k" * self.schema.key_length,
                       {f: "v" * self.schema.field_length
                        for f in self.schema.field_names})
 
-    def attach_metrics(self, registry) -> None:
+    def _attach_node_metrics(self, registry, index: int) -> None:
         """Add BDB-JE log-volume meters and per-node tree size probes."""
-        super().attach_metrics(registry)
-        for i, node in enumerate(self.cluster.servers):
-            labels = {"store": self.name, "node": node.name}
-            registry.meter("voldemort_log_bytes",
-                           lambda i=i: self.log_bytes[i], **labels)
-            registry.probe("voldemort_tree_records",
-                           lambda t=self.trees[i]: len(t), **labels)
+        node = self.cluster.servers[index]
+        labels = {"store": self.name, "node": node.name}
+        registry.meter("voldemort_log_bytes",
+                       lambda i=index: self.log_bytes[i], **labels)
+        registry.probe("voldemort_tree_records",
+                       lambda t=self.trees[index]: len(t), **labels)
 
     @classmethod
     def default_profile(cls) -> ServiceProfile:
@@ -118,8 +128,65 @@ class VoldemortStore(Store):
 
     def owner_of(self, key: str) -> int:
         """Node index owning ``key`` (partition -> node, round-robin)."""
-        partition = self.ring.owner_of(key)
-        return partition % self.cluster.n_servers
+        return self._owner_map[self.ring.owner_of(key)]
+
+    # -- topology -------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Admit a node: the rebalancer hands it whole partitions.
+
+        The partition count stays fixed (real Voldemort cannot split
+        partitions online); ownership re-round-robins over the members
+        and affected partitions stream their BDB entries across.
+        """
+        index = self.cluster.servers.index(node)
+        if index != len(self.trees):  # pragma: no cover - defensive
+            raise ValueError("servers must be admitted in cluster order")
+        self.trees.append(BPlusTree(order=self._btree_order))
+        self.log_bytes.append(0)
+        if self.overload is not None and self.overload.max_queue:
+            self._gates.append(
+                AdmissionGate(self.overload.max_queue,
+                              f"voldemort-pool:{node.name}"))
+        self._members.append(index)
+        self._rebuild_owner_map()
+        moves = self._migrate()
+        self._note_server_added(index)
+        return moves
+
+    def shrink(self, index: int) -> list[tuple[int, int, int]]:
+        """Drain a node: its partitions move back onto the survivors."""
+        if index not in self._members:
+            raise ValueError(f"server {index} is not a member")
+        if len(self._members) == 1:
+            raise ValueError("cannot shrink below one node")
+        self._members.remove(index)
+        self._rebuild_owner_map()
+        return self._migrate()
+
+    def rebalance_moves(self) -> list[tuple[int, int, int]]:
+        """Catch-up pass: stream any entry that landed off its owner."""
+        return self._migrate()
+
+    def _migrate(self) -> list[tuple[int, int, int]]:
+        """Re-home every entry to its partition owner; returns the bill."""
+        moved: dict[tuple[int, int], int] = {}
+        for src, tree in enumerate(self.trees):
+            stale = [(key, value) for key, value in tree.items()
+                     if self.owner_of(key) != src]
+            for key, value in stale:
+                dst = self.owner_of(key)
+                tree.remove(key)
+                self.trees[dst].put(key, value)
+                self.log_bytes[src] -= self._entry_bytes
+                self.log_bytes[dst] += self._entry_bytes
+                pair = (src, dst)
+                moved[pair] = moved.get(pair, 0) + self._entry_bytes
+        return [(src, dst, nbytes)
+                for (src, dst), nbytes in sorted(moved.items())]
 
     # -- deployment ----------------------------------------------------------
 
@@ -159,6 +226,11 @@ class VoldemortStore(Store):
         return dict(value) if value is not None else None
 
     def _apply_write(self, owner: int, key: str, fields: Mapping[str, str]):
+        # A write routed under the old partition map lands after the
+        # rebalancer moved its partition; the server proxies it to the
+        # current owner (Voldemort's rebalancing redirect) so the
+        # acknowledgement never strands data on the old node.
+        owner = self.owner_of(key)
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.write_cpu)
@@ -185,6 +257,7 @@ class VoldemortStore(Store):
         return True
 
     def _apply_delete(self, owner: int, key: str):
+        owner = self.owner_of(key)  # rebalancing redirect, as for writes
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.write_cpu)

@@ -40,6 +40,8 @@ class VoltDBStore(Store):
 
     name = "voltdb"
     supports_scans = True
+    #: VoltDB is in-memory: rebalance rows ship over the NIC only.
+    rebalance_uses_disk = False
 
     SITES_PER_HOST = 6
     #: Global ordering cost: fixed initiation work plus per-node fan-out.
@@ -54,20 +56,55 @@ class VoltDBStore(Store):
         super().__init__(cluster, schema, profile)
         self.synchronous_client = synchronous_client
         n = cluster.n_servers
-        self.n_partitions = n * self.SITES_PER_HOST
-        # partition -> ordered table (VoltDB keeps a tree index on the
+        # partition id -> ordered table (VoltDB keeps a tree index on the
         # primary key; a skip list provides the same ordered access).
-        self.partitions: list[SkipList] = [
-            SkipList(seed=i) for i in range(self.n_partitions)
-        ]
-        self.sites = [
-            Resource(cluster.sim, 1, f"voltdb-site:{i}", component="cpu")
-            for i in range(self.n_partitions)
-        ]
+        # Keyed dicts rather than lists: partition ids are stable across
+        # topology changes (sites of a drained host keep their entries,
+        # so in-flight fragments never dangle).
+        self.partitions: dict[int, SkipList] = {}
+        self.sites: dict[int, Resource] = {}
+        #: Partition id -> host (server index).
+        self._partition_host: dict[int, int] = {}
+        #: Active partition ids, ascending (the hash space).
+        self._pids: list[int] = []
+        self._next_pid = 0
+        self._members = list(range(n))
+        for host in range(n):
+            self._add_host_partitions(host)
         # The global transaction initiator/sequencer (only exercised in
         # multi-node deployments).
         self.sequencer = Resource(cluster.sim, 1, "voltdb-sequencer",
                                   component="store")
+
+    def _add_host_partitions(self, host: int) -> None:
+        """Create this host's six sites and their (empty) partitions."""
+        for __ in range(self.SITES_PER_HOST):
+            pid = self._next_pid
+            self._next_pid += 1
+            self.partitions[pid] = SkipList(seed=pid)
+            site = Resource(self.cluster.sim, 1, f"voltdb-site:{pid}",
+                            component="cpu")
+            if self.overload is not None and self.overload.max_queue:
+                site.max_queue = self.overload.max_queue
+            self.sites[pid] = site
+            self._partition_host[pid] = host
+            self._pids.append(pid)
+
+    @property
+    def n_partitions(self) -> int:
+        """Active partitions (the hash space clients route over)."""
+        return len(self._pids)
+
+    def _host_sites(self, host: int) -> list[Resource]:
+        # Over every partition ever hosted (not just active ones):
+        # cumulative busy/slot meters must never run backwards when a
+        # drained host's sites leave the active set.
+        return [self.sites[p] for p, h in self._partition_host.items()
+                if h == host]
+
+    def _host_partitions(self, host: int) -> list[SkipList]:
+        return [self.partitions[p] for p, h in self._partition_host.items()
+                if h == host]
 
     def attach_metrics(self, registry) -> None:
         """Add sequencer and per-host site-executor saturation gauges.
@@ -81,29 +118,35 @@ class VoltDBStore(Store):
                        lambda: self.sequencer.queue_length, store=self.name)
         registry.meter("voltdb_sequencer_busy_seconds",
                        self.sequencer.busy_seconds, store=self.name)
-        for i, node in enumerate(self.cluster.servers):
-            labels = {"store": self.name, "node": node.name}
-            sites = [self.sites[p] for p in range(self.n_partitions)
-                     if self.node_of_partition(p) == i]
-            registry.probe(
-                "voltdb_site_queue",
-                lambda group=sites: sum(s.in_use + s.queue_length
-                                        for s in group), **labels)
-            registry.meter(
-                "voltdb_site_busy_seconds",
-                lambda group=sites: sum(s.busy_seconds() for s in group),
-                **labels)
-            registry.meter(
-                "store_executor_slot_seconds",
-                lambda group=sites: sum(s.slot_seconds() for s in group),
-                **labels)
-            registry.probe("store_executor_slots",
-                           lambda n=len(sites): float(n), **labels)
-            parts = [self.partitions[p] for p in range(self.n_partitions)
-                     if self.node_of_partition(p) == i]
-            registry.probe(
-                "voltdb_partition_rows",
-                lambda group=parts: sum(len(p) for p in group), **labels)
+
+    def _attach_node_metrics(self, registry, index: int) -> None:
+        node = self.cluster.servers[index]
+        labels = {"store": self.name, "node": node.name}
+        # Recompute the host's site group per reading: rebalancing moves
+        # partitions between hosts, so a captured snapshot would go stale.
+        registry.probe(
+            "voltdb_site_queue",
+            lambda h=index: float(sum(s.in_use + s.queue_length
+                                      for s in self._host_sites(h))),
+            **labels)
+        registry.meter(
+            "voltdb_site_busy_seconds",
+            lambda h=index: sum(s.busy_seconds()
+                                for s in self._host_sites(h)),
+            **labels)
+        registry.meter(
+            "store_executor_slot_seconds",
+            lambda h=index: sum(s.slot_seconds()
+                                for s in self._host_sites(h)),
+            **labels)
+        registry.probe(
+            "store_executor_slots",
+            lambda h=index: float(len(self._host_sites(h))), **labels)
+        registry.probe(
+            "voltdb_partition_rows",
+            lambda h=index: float(sum(len(p)
+                                      for p in self._host_partitions(h))),
+            **labels)
 
     @classmethod
     def default_profile(cls) -> ServiceProfile:
@@ -117,11 +160,11 @@ class VoltDBStore(Store):
 
     def partition_of(self, key: str) -> int:
         """Partition column hash, as VoltDB derives from the primary key."""
-        return murmur64a(key.encode("utf-8")) % self.n_partitions
+        return self._pids[murmur64a(key.encode("utf-8")) % len(self._pids)]
 
     def node_of_partition(self, partition: int) -> int:
         """Host index owning ``partition``."""
-        return partition // self.SITES_PER_HOST
+        return self._partition_host[partition]
 
     def overload_channels(self):
         """Admission control bounds each site queue and the sequencer.
@@ -130,7 +173,59 @@ class VoltDBStore(Store):
         procedure arriving at a full site backlog is rejected instead of
         deepening the serial executor's queue.
         """
-        return [*self.sites, self.sequencer]
+        return [*self.sites.values(), self.sequencer]
+
+    # -- topology -------------------------------------------------------------
+
+    def members(self) -> list[int]:
+        return list(self._members)
+
+    def grow(self, node: Node) -> list[tuple[int, int, int]]:
+        """Elastic add (VoltDB 2.x took a maintenance window; we model
+        the later online-rejoin semantics): the new host brings six new
+        sites, the partition hash space widens, and rows rehash across
+        the fleet — a global reshuffle, unlike the ring stores' 1/n.
+        """
+        host = self.cluster.servers.index(node)
+        self._members.append(host)
+        self._add_host_partitions(host)
+        moves = self._migrate()
+        self._note_server_added(host)
+        return moves
+
+    def shrink(self, host: int) -> list[tuple[int, int, int]]:
+        """Drain a host: its partitions leave the hash space entirely."""
+        if host not in self._members:
+            raise ValueError(f"server {host} is not a member")
+        if len(self._members) == 1:
+            raise ValueError("cannot shrink below one host")
+        self._members.remove(host)
+        self._pids = [p for p in self._pids
+                      if self._partition_host[p] != host]
+        return self._migrate()
+
+    def rebalance_moves(self) -> list[tuple[int, int, int]]:
+        """Catch-up pass: rehash any row that landed off its partition."""
+        return self._migrate()
+
+    def _migrate(self) -> list[tuple[int, int, int]]:
+        """Rehash every row into the current partition space."""
+        record_bytes = self.schema.key_length + self.schema.raw_value_bytes
+        moved: dict[tuple[int, int], int] = {}
+        for src_pid, table in sorted(self.partitions.items()):
+            stale = [(key, value) for key, value in table.items()
+                     if self.partition_of(key) != src_pid]
+            for key, value in stale:
+                dst_pid = self.partition_of(key)
+                table.remove(key)
+                self.partitions[dst_pid].put(key, value)
+                src = self._partition_host[src_pid]
+                dst = self._partition_host[dst_pid]
+                if src != dst:  # same-host moves are memcpys, not wire IO
+                    pair = (src, dst)
+                    moved[pair] = moved.get(pair, 0) + record_bytes
+        return [(src, dst, nbytes)
+                for (src, dst), nbytes in sorted(moved.items())]
 
     # -- deployment ----------------------------------------------------------
 
@@ -151,7 +246,7 @@ class VoltDBStore(Store):
         cluster the initiator must agree on a global order with every
         other host, serialising at the sequencer.
         """
-        n = self.cluster.n_servers
+        n = len(self._members)
         if n == 1 or not self.synchronous_client:
             yield from node.cpu(self.INITIATION_BASE_CPU)
             return
@@ -220,6 +315,12 @@ class VoltDBStore(Store):
 
     def _proc_write(self, partition: int, key: str,
                     fields: Mapping[str, str]):
+        # A procedure initiated under the old partition map executes
+        # after an elastic rehash widened the hash space; the initiator
+        # re-plans it against the current partition (the client "wrong
+        # partition" retry) so the acknowledged row lands at its owner.
+        partition = self.partition_of(key)
+
         def action():
             table = self.partitions[partition]
             existing = table.get(key)
@@ -236,6 +337,7 @@ class VoltDBStore(Store):
         return result
 
     def _proc_delete(self, partition: int, key: str):
+        partition = self.partition_of(key)  # re-plan, as for writes
         result = yield from self._single_partition(
             partition, self.profile.write_cpu,
             lambda: self.partitions[partition].remove(key),
@@ -256,7 +358,7 @@ class VoltDBStore(Store):
 
         per_site_cpu = (self.profile.scan_base_cpu
                         + count * self.profile.scan_per_record_cpu)
-        for partition in range(self.n_partitions):
+        for partition in list(self._pids):
             fragments.append(self.sim.process(self._run_on_site(
                 partition, per_site_cpu,
                 lambda p=partition: collect(p),
@@ -276,8 +378,8 @@ class VoltDBSession(StoreSession):
     def _entry_node(self) -> Node:
         """Round-robin over hosts, like a client connected to all of them."""
         self._rr += 1
-        servers = self.store.cluster.servers
-        return servers[self._rr % len(servers)]
+        members = self.store._members
+        return self.store.cluster.servers[members[self._rr % len(members)]]
 
     def _call(self, handler, request_bytes: int, response_bytes: int,
               via: Node | None = None):

@@ -105,9 +105,9 @@ class TestTimingModel:
         assert sim_async.now < sim_sync.now
 
     def test_scan_occupies_every_site(self, store, records):
-        before = [site.stats.requests for site in store.sites]
+        before = [site.stats.requests for site in store.sites.values()]
         session = store.session(store.cluster.clients[0], 0)
         run_op(store, session.scan(records[0].key, 5))
-        after = [site.stats.requests for site in store.sites]
+        after = [site.stats.requests for site in store.sites.values()]
         assert all(b > a or b == a + 1 for a, b in zip(before, after))
         assert sum(after) - sum(before) == store.n_partitions
