@@ -114,7 +114,10 @@ class Disk:
                 finally:
                     sim.tracer.end_span(span)
             else:
-                yield sim.timeout(2e-6)
+                # Write-back ack: kernel-owned timer, freelist-recycled.
+                timeout = sim._timeout_pooled(2e-6)
+                yield timeout
+                sim._recycle_timeout(timeout)
             return
         duration = ((self.spec.access_time(nbytes, sequential)
                      + self.spec.rotational_latency_s)

@@ -8,11 +8,32 @@ completions) and accumulates simulated time.
 
 Design notes
 ------------
-* Events are scheduled on a binary heap keyed by ``(time, sequence)`` so
-  simultaneous events fire in deterministic FIFO order.
+* Events fire in ``(time, sequence)`` order: among simultaneous events the
+  one *scheduled first* fires first.  This is the kernel's only ordering
+  contract — nothing may rely on any finer tie-breaking.
+* The default scheduler is a two-lane calendar queue tuned for the
+  mostly-FIFO arrival pattern of a queueing simulation: events scheduled
+  with zero delay (grants, process completions, resume bounces — the
+  majority) land on an O(1) FIFO *now lane*, and only genuinely timed
+  events pay for the binary-heap *far lane* (a heap of bare timestamps
+  plus a dict of per-instant buckets).  Two invariants make the lanes
+  merge-free: every far-lane time is strictly greater than ``now`` (a
+  timed delay is positive by definition), and every event in a bucket
+  was scheduled before anything scheduled while the bucket fires (the
+  global sequence counter is monotone).  So advancing the clock splices
+  a *whole bucket* onto the empty now lane with zero per-event
+  comparisons, and the resulting order is exactly the classic heap's
+  ``(time, sequence)`` order.  :class:`ReferenceScheduler` keeps the
+  original single-heap implementation as the differential-testing oracle
+  (``tests/sim/test_kernel_differential.py``).
 * A :class:`Process` is itself an :class:`Event` that succeeds with the
   generator's return value, which lets processes wait on each other and
   lets :class:`AllOf` / :class:`AnyOf` compose fan-out RPCs.
+* Process bootstraps and resume bounces do not allocate helper events:
+  the process schedules *itself* as a resume entry carrying the pending
+  ``(ok, value)`` pair.  Each entry still consumes one sequence number at
+  exactly the point the old kernel's helper event did, so the event
+  stream is bit-for-bit identical — just allocation-free.
 * Failures propagate: if a yielded event fails, the exception is thrown
   into the waiting generator; unhandled failures surface from
   :meth:`Simulator.run` as :class:`SimulationError`.
@@ -27,12 +48,18 @@ Design notes
   abandon work whose deadline already passed; :meth:`Simulator.detached`
   spawns background server work (flushes, compactions, hint replay) with
   the deadline cleared so it outlives the request that triggered it.
+* :meth:`Event.cancel` removes a scheduled event lazily: the queue entry
+  stays put but is skipped when popped, so timeout guards that lost a
+  race no longer burn a callback dispatch when they expire.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from functools import partial
+from types import GeneratorType
+from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
     "Event",
@@ -42,6 +69,7 @@ __all__ = [
     "AnyOf",
     "KOf",
     "Simulator",
+    "ReferenceScheduler",
     "SimulationError",
 ]
 
@@ -56,19 +84,48 @@ class Event:
     An event starts *pending*, is *triggered* once :meth:`succeed` or
     :meth:`fail` is called, and then notifies its callbacks exactly once
     when the simulator processes it.
+
+    Internally a single waiting :class:`Process` is held in the
+    ``_waiter`` slot (the overwhelmingly common case) and only additional
+    subscribers allocate the ``callbacks`` list; notification order is
+    registration order either way, matching the original list-only
+    implementation.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = ("sim", "_callbacks", "_waiter", "_value", "_ok",
+                 "_triggered", "_processed", "_cancelled", "_qseq")
 
     PENDING = object()
 
+    #: Class-level default so the run loop can dispatch on one flag for
+    #: every queued object: only a :class:`Process` ever shadows this
+    #: with a per-instance slot (``True`` while it sits in the queue as
+    #: a resume entry).
+    _resuming = False
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self._callbacks: Optional[list] = None
+        self._waiter: Optional["Process"] = None
         self._value: Any = Event.PENDING
         self._ok: bool = True
         self._triggered = False
         self._processed = False
+        self._cancelled = False
+        self._qseq = 0
+
+    @property
+    def callbacks(self) -> list:
+        """Callables run (in registration order) when the event fires.
+
+        A process already waiting via the internal single-waiter slot
+        keeps its position: it is notified before anything appended here
+        afterwards, exactly as if it had been first in this list.
+        """
+        cbs = self._callbacks
+        if cbs is None:
+            cbs = self._callbacks = []
+        return cbs
 
     @property
     def triggered(self) -> bool:
@@ -79,6 +136,11 @@ class Event:
     def processed(self) -> bool:
         """Whether callbacks have already run."""
         return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before being processed."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -96,29 +158,74 @@ class Event:
         """Trigger the event successfully with ``value``."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if self._cancelled:
+            raise SimulationError("event was cancelled")
         self._ok = True
         self._value = value
         self._triggered = True
-        self.sim._schedule(self)
+        # Inlined zero-delay schedule (== sim._schedule(self)): this is
+        # the hottest trigger path, and the now lane honours the
+        # scheduler's ordering contract by construction.
+        sim = self.sim
+        seq = sim._sequence + 1
+        sim._sequence = seq
+        self._qseq = seq
+        sim._push_now(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
         if self._triggered:
             raise SimulationError("event already triggered")
+        if self._cancelled:
+            raise SimulationError("event was cancelled")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
         self._triggered = True
-        self.sim._schedule(self)
+        sim = self.sim
+        seq = sim._sequence + 1
+        sim._sequence = seq
+        self._qseq = seq
+        sim._push_now(self)
         return self
 
-    def _run_callbacks(self) -> None:
+    def cancel(self) -> "Event":
+        """Cancel the event: it will never fire its callbacks.
+
+        Pending events can no longer be triggered; triggered-but-unfired
+        events are skipped when their queue entry is popped (lazy
+        deletion — the entry is not searched for).  Cancelling an event
+        that already ran its callbacks is an error, and cancelling twice
+        is a no-op.  A process must never cancel the event it is itself
+        waiting on (it would sleep forever).
+        """
+        if self._processed:
+            raise SimulationError("cannot cancel a processed event")
+        self._cancelled = True
+        return self
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
         self._processed = True
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        # Snapshot subscribers before notifying: anything registered
+        # *during* notification must never run (one-shot semantics,
+        # matching the original swap-then-iterate implementation).
+        waiter = self._waiter
+        cbs = self._callbacks
+        self._waiter = None
+        self._callbacks = None
+        if waiter is not None:
+            waiter._step(self._ok, self._value)
+        if cbs is not None:
+            for callback in cbs:
+                callback(self)
+
+    # Kept as an alias: the pre-fast-path kernel named the notification
+    # hook ``_run_callbacks``.
+    _run_callbacks = _fire
 
 
 class Timeout(Event):
@@ -129,12 +236,32 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self._callbacks = None
+        self._waiter = None
         self._value = value
+        self._ok = True
         self._triggered = True
-        sim._schedule(self, delay=delay)
+        self._processed = False
+        self._cancelled = False
+        self.delay = delay
+        # Inlined sim._schedule(self, delay).
+        seq = sim._sequence + 1
+        sim._sequence = seq
+        self._qseq = seq
+        if delay == 0.0:
+            sim._push_now(self)
+        else:
+            when = sim._now + delay
+            far = sim._far
+            bucket = far.get(when)
+            if bucket is None:
+                far[when] = self
+                heapq.heappush(sim._heap, when)
+            elif bucket.__class__ is list:
+                bucket.append(self)
+            else:
+                far[when] = [bucket, self]
 
 
 class Process(Event):
@@ -144,9 +271,17 @@ class Process(Event):
     fires, the process resumes with the event's value (or the exception is
     thrown into the generator if the event failed).  The process — being an
     event itself — succeeds with the generator's return value.
+
+    A process lives in the scheduler queue in one of two roles, told
+    apart by ``_resuming``: as a *resume entry* (its generator should be
+    advanced with the buffered ``(ok, value)``) or, once the generator
+    finishes, as an ordinary triggered event notifying its waiters.  The
+    roles never overlap: while a resume is queued the generator is
+    suspended, so the process cannot also have completed.
     """
 
-    __slots__ = ("generator", "name", "context", "deadline", "_waiting_on")
+    __slots__ = ("generator", "_send", "_name", "context", "deadline",
+                 "_resuming", "_r_ok", "_r_value")
 
     def __init__(
         self,
@@ -154,28 +289,159 @@ class Process(Event):
         generator: Generator[Event, Any, Any],
         name: Optional[str] = None,
     ):
-        if not hasattr(generator, "send"):
+        if type(generator) is not GeneratorType \
+                and not hasattr(generator, "send"):
             raise SimulationError(
                 f"process target must be a generator, got {type(generator).__name__}"
             )
-        super().__init__(sim)
+        self.sim = sim
+        self._callbacks = None
+        self._waiter = None
+        self._value = Event.PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._cancelled = False
         self.generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        # Bound once: every resume calls it, and the bound method skips
+        # re-binding ``generator.send`` per hop.
+        self._send = generator.send
+        self._name = name
         self.context: Any = sim.context
         self.deadline: Optional[float] = sim.deadline
-        self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume on the next kernel step at the current time.
-        initial = Event(sim)
-        initial.callbacks.append(self._resume)
-        initial.succeed()
+        # Bootstrap: resume on the next kernel step at the current time
+        # (inlined sim._schedule(self)).
+        self._resuming = True
+        self._r_ok = True
+        self._r_value: Any = None
+        seq = sim._sequence + 1
+        sim._sequence = seq
+        self._qseq = seq
+        sim._push_now(self)
+
+    @property
+    def name(self) -> str:
+        """The process name (defaults to the generator's name, lazily)."""
+        name = self._name
+        if name is None:
+            name = self._name = getattr(self.generator, "__name__", "process")
+        return name
 
     @property
     def is_alive(self) -> bool:
         """Whether the underlying generator has not yet finished."""
         return not self._triggered
 
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        if self._resuming:
+            self._resuming = False
+            ok, value = self._r_ok, self._r_value
+            self._r_value = None
+            self._step(ok, value)
+            return
+        # Completed-process role: notify waiters (Event._fire, inlined —
+        # this runs once per process and the extra call layer showed up
+        # in kernel profiles).
+        self._processed = True
+        waiter = self._waiter
+        cbs = self._callbacks
+        self._waiter = None
+        self._callbacks = None
+        if waiter is not None:
+            waiter._step(self._ok, self._value)
+        if cbs is not None:
+            for callback in cbs:
+                callback(self)
+
     def _resume(self, event: Event) -> None:
-        self._waiting_on = None
+        """Callback-compatible resume (used on the shared-event path)."""
+        self._step(event._ok, event._value)
+
+    def _step(self, ok: bool, value: Any) -> None:
+        sim = self.sim
+        if self.context is None and self.deadline is None \
+                and sim.context is None and sim.deadline is None:
+            # Fast resume: neither the process nor the simulator carries
+            # a trace context or deadline, so the inherit-and-swap around
+            # the generator hop is a no-op — skip it and only *capture*
+            # if the generator set either slot during this resume.  This
+            # is every resume of an untraced, deadline-free run.
+            try:
+                if ok:
+                    target = self._send(value)
+                else:
+                    target = self.generator.throw(value)
+            except StopIteration as stop:
+                if sim.context is not None or sim.deadline is not None:
+                    self.context = sim.context
+                    self.deadline = sim.deadline
+                    sim.context = None
+                    sim.deadline = None
+                # Inlined self.succeed(stop.value) — once per process,
+                # but the call frame showed up in kernel profiles.
+                if self._triggered:
+                    raise SimulationError("event already triggered")
+                if self._cancelled:
+                    raise SimulationError("event was cancelled")
+                self._ok = True
+                self._value = stop.value
+                self._triggered = True
+                seq = sim._sequence + 1
+                sim._sequence = seq
+                self._qseq = seq
+                sim._push_now(self)
+                return
+            except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+                if sim.context is not None or sim.deadline is not None:
+                    self.context = sim.context
+                    self.deadline = sim.deadline
+                    sim.context = None
+                    sim.deadline = None
+                self.fail(exc)
+                return
+            if sim.context is not None or sim.deadline is not None:
+                self.context = sim.context
+                self.deadline = sim.deadline
+                sim.context = None
+                sim.deadline = None
+        else:
+            target = self._step_swapped(ok, value)
+            if target is None:
+                return
+        # ``_processed`` doubles as the is-this-an-event check: anything
+        # a generator yields that lacks the slot was not an Event (the
+        # swapped path pre-validates, so it never lands in the except).
+        try:
+            target_processed = target._processed
+        except AttributeError:
+            self._throw_non_event(target)
+            return
+        if target_processed:
+            # The event already fired; bounce — re-queue ourselves so the
+            # resume lands at the current time *after* everything already
+            # scheduled, exactly where the old kernel's helper event fired
+            # (inlined sim._schedule(self)).
+            self._resuming = True
+            self._r_ok = target._ok
+            self._r_value = target._value
+            seq = sim._sequence + 1
+            sim._sequence = seq
+            self._qseq = seq
+            sim._push_now(self)
+        elif target._waiter is None and target._callbacks is None:
+            target._waiter = self
+        else:
+            target.callbacks.append(self._resume)
+
+    def _step_swapped(self, ok: bool, value: Any) -> Optional[Event]:
+        """The general resume: full context/deadline inherit-and-swap.
+
+        Returns the yielded event, or ``None`` when the generator
+        finished (or errored) and the process has already been
+        triggered.
+        """
         sim = self.sim
         prev_context = sim.context
         prev_deadline = sim.deadline
@@ -183,27 +449,20 @@ class Process(Event):
         sim.deadline = self.deadline
         try:
             try:
-                if event.ok:
-                    target = self.generator.send(event._value)
+                if ok:
+                    target = self._send(value)
                 else:
-                    target = self.generator.throw(event._value)
+                    target = self.generator.throw(value)
             except StopIteration as stop:
                 self.succeed(stop.value)
-                return
+                return None
             except BaseException as exc:  # noqa: BLE001 - propagate into waiters
                 self.fail(exc)
-                return
+                return None
             if not isinstance(target, Event):
-                exc = SimulationError(
-                    f"process {self.name!r} yielded non-event {target!r}"
-                )
-                try:
-                    self.generator.throw(exc)
-                except StopIteration as stop:
-                    self.succeed(stop.value)
-                except BaseException as err:  # noqa: BLE001
-                    self.fail(err)
-                return
+                self._throw_non_event(target)
+                return None
+            return target
         finally:
             # Capture context/deadline mutations made by the generator (span
             # pushes and pops, deadline stamps) and restore whatever was
@@ -212,17 +471,18 @@ class Process(Event):
             self.deadline = sim.deadline
             sim.context = prev_context
             sim.deadline = prev_deadline
-        if target.processed:
-            # The event already fired; resume immediately at the current time.
-            bounce = Event(self.sim)
-            bounce.callbacks.append(self._resume)
-            bounce._ok = target._ok
-            bounce._value = target._value
-            bounce._triggered = True
-            self.sim._schedule(bounce)
-        else:
-            self._waiting_on = target
-            target.callbacks.append(self._resume)
+
+    def _throw_non_event(self, target: Any) -> None:
+        """Throw the yielded-non-event error into the generator."""
+        exc = SimulationError(
+            f"process {self.name!r} yielded non-event {target!r}"
+        )
+        try:
+            self.generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+        except BaseException as err:  # noqa: BLE001
+            self.fail(err)
 
 
 class AllOf(Event):
@@ -334,11 +594,59 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: owns simulated time and the pending-event heap."""
+    """The event loop: owns simulated time and the pending-event queues.
+
+    The scheduler is a two-lane calendar queue.  The *now lane*
+    (``_nowq``) is a deque holding, in FIFO sequence order, events due
+    at the current instant; the *far lane* is a binary heap of bare
+    fire *times* (``_heap``) whose events live in per-time buckets
+    (``_far``) for timed events.  Two invariants make the merge exact
+    with no per-event comparison at all:
+
+    * every far-lane time is strictly ``> now`` — pushes are
+      ``now + delay`` with ``delay > 0``, and advancing the clock
+      consumes a bucket *whole*, so a bucket at the current time never
+      lingers;
+    * bucket events predate (in sequence) anything scheduled while they
+      fire — the global sequence only grows — so when the clock
+      advances, splicing the entire bucket onto the (empty) now lane
+      preserves exact ``(time, sequence)`` order against everything
+      those events then schedule.
+
+    The hot loop is therefore just "pop the now lane; when it is empty,
+    pop the next time and splice its bucket" — O(1) deque ops for the
+    zero-delay majority, one heap sift per distinct *time* (not per
+    event) for the rest.
+    """
+
+    __slots__ = ("_now", "_heap", "_far", "_nowq", "_push_now",
+                 "_sequence", "context", "deadline", "tracer",
+                 "_timeout_pool", "timeout", "process")
 
     def __init__(self):
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        #: Far-lane heap of *times only*.  Heap compares on bare floats
+        #: cost roughly half of tuple compares, and the merge test
+        #: against the now lane becomes a single float comparison.  Each
+        #: time appears once; its events live in the ``_far`` buckets.
+        self._heap: list[float] = []
+        #: Far-lane buckets: time -> the event scheduled for that
+        #: instant, or a list of them (oldest first) when several share
+        #: the exact time.  The single-event form skips a list
+        #: allocation for the overwhelmingly common unique-time case;
+        #: list buckets preserve sequence order because the global
+        #: sequence only ever grows, so draining front-to-back is
+        #: exactly ``(time, sequence)`` order.
+        self._far: dict[float, Any] = {}
+        #: The now lane.  A ``deque`` keeps O(1) FIFO ops in C and —
+        #: because the object identity never changes — lets the run
+        #: loops hoist it into a local once instead of re-reading the
+        #: attribute per event.
+        self._nowq: "deque[Event]" = deque()
+        #: Bound ``_nowq.append`` — the single most-called operation in
+        #: the engine; the slot-held bound method saves one attribute
+        #: hop per zero-delay schedule.
+        self._push_now = self._nowq.append
         self._sequence = 0
         #: Opaque per-process context (the active trace span, when tracing).
         self.context: Any = None
@@ -347,6 +655,18 @@ class Simulator:
         self.deadline: Optional[float] = None
         #: The attached ``repro.trace.Tracer``, or ``None`` when not tracing.
         self.tracer: Any = None
+        #: Recycled :class:`Timeout` objects for the fused resource fast
+        #: path (see ``Resource.use``).  Only events whose full lifecycle
+        #: is kernel-controlled are ever pooled.
+        self._timeout_pool: list[Timeout] = []
+        #: Event factories, bound as C-level partials: ``timeout(delay,
+        #: value=None)`` builds a :class:`Timeout`, ``process(generator,
+        #: name=None)`` spawns a :class:`Process`.  Held in slots (not
+        #: methods) to skip one Python frame per call on the two hottest
+        #: construction paths; :class:`ReferenceScheduler` rebinds
+        #: ``timeout`` to route around the inlined scheduling.
+        self.timeout = partial(Timeout, self)
+        self.process = partial(Process, self)
 
     @property
     def now(self) -> float:
@@ -359,17 +679,47 @@ class Simulator:
         """Create a new pending event."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+    def _timeout_pooled(self, delay: float) -> Timeout:
+        """A pooled valueless timeout for callers that own its lifecycle.
 
-    def process(
-        self,
-        generator: Generator[Event, Any, Any],
-        name: Optional[str] = None,
-    ) -> Process:
-        """Start a new process from ``generator``."""
-        return Process(self, generator, name=name)
+        The caller must guarantee nothing else ever sees the object and
+        hand it back via :meth:`_recycle_timeout` only after it fired and
+        was consumed.  ``Resource.use`` / ``Disk`` / ``Network`` hold
+        durations; user-visible timeouts never come from the pool.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return Timeout(self, delay)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        timeout = pool.pop()
+        timeout._processed = False
+        timeout.delay = delay
+        # Inlined self._schedule(timeout, delay).
+        seq = self._sequence + 1
+        self._sequence = seq
+        timeout._qseq = seq
+        if delay == 0.0:
+            self._push_now(timeout)
+        else:
+            when = self._now + delay
+            far = self._far
+            bucket = far.get(when)
+            if bucket is None:
+                far[when] = timeout
+                heapq.heappush(self._heap, when)
+            elif bucket.__class__ is list:
+                bucket.append(timeout)
+            else:
+                far[when] = [bucket, timeout]
+        return timeout
+
+    def _recycle_timeout(self, timeout: Timeout) -> None:
+        """Return a pool-born timeout after it fired and was consumed."""
+        if timeout._processed and not timeout._cancelled \
+                and timeout._waiter is None and timeout._callbacks is None \
+                and len(self._timeout_pool) < 64:
+            self._timeout_pool.append(timeout)
 
     def detached(
         self,
@@ -410,18 +760,64 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        """Queue ``event`` to fire ``delay`` seconds from now.
+
+        Consumes exactly one sequence number per call; the sequence is
+        the global tie-breaker among simultaneous events.
+        """
+        seq = self._sequence + 1
+        self._sequence = seq
+        event._qseq = seq
+        if delay == 0.0:
+            self._push_now(event)
+        else:
+            when = self._now + delay
+            far = self._far
+            bucket = far.get(when)
+            if bucket is None:
+                far[when] = event
+                heapq.heappush(self._heap, when)
+            elif bucket.__class__ is list:
+                bucket.append(event)
+            else:
+                far[when] = [bucket, event]
+
+    def _pop(self) -> Optional[Event]:
+        """Dequeue the next event in ``(time, sequence)`` order.
+
+        Advances the clock when the far lane wins.  Returns ``None``
+        when both lanes are empty.
+        """
+        nowq = self._nowq
+        if nowq:
+            return nowq.popleft()
+        heap = self._heap
+        if heap:
+            when = heapq.heappop(heap)
+            bucket = self._far.pop(when)
+            self._now = when
+            if bucket.__class__ is list:
+                nowq.extend(bucket)
+                return nowq.popleft()
+            return bucket
+        return None
 
     def step(self) -> None:
         """Process the single next event."""
-        when, __, event = heapq.heappop(self._heap)
-        self._now = when
-        event._run_callbacks()
+        event = self._pop()
+        if event is None:
+            raise IndexError("pop from an empty event queue")
+        event._fire()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._nowq:
+            return self._now
+        return self._heap[0] if self._heap else float("inf")
+
+    def _pending(self) -> bool:
+        """Whether any event (cancelled or not) is queued."""
+        return bool(self._nowq) or bool(self._heap)
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
@@ -429,29 +825,272 @@ class Simulator:
         ``until`` may be ``None`` (run to quiescence), a number (run until
         that simulated time), or an :class:`Event` (run until it fires; its
         value is returned, and a failed event re-raises its exception).
+
+        The two hot drive modes (to quiescence and to a stop event) run
+        the pop-and-fire loop inline with the queues held in locals —
+        this loop is the single hottest code in the repo, so it trades a
+        little duplication with :meth:`_pop` for one less call layer per
+        event.
         """
+        nowq = self._nowq
+        heap = self._heap
+        heappop = heapq.heappop
+        popleft = nowq.popleft
+        far = self._far
+        # The fire dispatch is inlined (one branch on the shared
+        # ``_resuming`` flag replaces a megamorphic ``_fire`` call):
+        # resume entries advance their generator, everything else runs
+        # the snapshot-then-notify sequence of :meth:`Event._fire`.
         if isinstance(until, Event):
             stop_event = until
-            while not stop_event.processed:
-                if not self._heap:
+            while not stop_event._processed:
+                if nowq:
+                    event = popleft()
+                elif heap:
+                    self._now = when = heappop(heap)
+                    bucket = far.pop(when)
+                    if bucket.__class__ is list:
+                        nowq.extend(bucket)
+                        event = popleft()
+                    else:
+                        event = bucket
+                else:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event fired (deadlock?)"
                     )
-                self.step()
+                if event._cancelled:
+                    continue
+                if event._resuming:
+                    event._resuming = False
+                    value = event._r_value
+                    event._r_value = None
+                    event._step(event._r_ok, value)
+                    continue
+                event._processed = True
+                waiter = event._waiter
+                cbs = event._callbacks
+                if cbs is None:
+                    if waiter is not None:
+                        event._waiter = None
+                        waiter._step(event._ok, event._value)
+                else:
+                    event._waiter = None
+                    event._callbacks = None
+                    if waiter is not None:
+                        waiter._step(event._ok, event._value)
+                    for callback in cbs:
+                        callback(event)
             if stop_event.ok:
                 return stop_event._value
             raise stop_event._value
         if until is None:
-            while self._heap:
-                self.step()
+            while True:
+                if nowq:
+                    event = popleft()
+                elif heap:
+                    self._now = when = heappop(heap)
+                    bucket = far.pop(when)
+                    if bucket.__class__ is list:
+                        nowq.extend(bucket)
+                        event = popleft()
+                    else:
+                        event = bucket
+                else:
+                    return None
+                if event._cancelled:
+                    continue
+                if event._resuming:
+                    event._resuming = False
+                    value = event._r_value
+                    event._r_value = None
+                    event._step(event._r_ok, value)
+                    continue
+                event._processed = True
+                waiter = event._waiter
+                cbs = event._callbacks
+                if cbs is None:
+                    if waiter is not None:
+                        event._waiter = None
+                        waiter._step(event._ok, event._value)
+                else:
+                    event._waiter = None
+                    event._callbacks = None
+                    if waiter is not None:
+                        waiter._step(event._ok, event._value)
+                    for callback in cbs:
+                        callback(event)
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon} (now is {self._now})"
+            )
+        while True:
+            if nowq:
+                event = self._pop()
+            elif heap and heap[0] <= horizon:
+                event = self._pop()
+            else:
+                break
+            event._fire()  # type: ignore[union-attr]
+        self._now = max(self._now, horizon)
+        return None
+
+
+class _ReferenceLane:
+    """A now lane that redirects every append into the single heap.
+
+    Installed as ``_nowq`` by :class:`ReferenceScheduler`.  The kernel's
+    inlined trigger paths (``succeed``/``fail``, timeouts, process
+    bootstraps and bounces) schedule zero-delay events by appending to
+    ``sim._nowq``; here each append becomes the classic
+    ``(now, sequence)`` heap push instead.  The lane is always falsy, so
+    every inherited queue inspection and run loop takes its heap branch —
+    restoring the pre-fast-path single-heap semantics without duplicating
+    the driver code.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "ReferenceScheduler"):
+        self.sim = sim
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def append(self, event: Event) -> None:
+        sim = self.sim
+        heapq.heappush(sim._heap, (sim._now, event._qseq, event))
+
+    def popleft(self) -> Event:
+        raise IndexError("the reference now lane is always empty")
+
+
+class _NoPool:
+    """A freelist stand-in that is always empty and always full.
+
+    Installed as ``_timeout_pool`` by :class:`ReferenceScheduler`: falsy,
+    so inlined pool-hit fast paths (``Resource.use``) never activate on
+    the oracle, and reporting itself at capacity so recycle guards never
+    append to it.  The oracle therefore allocates a fresh object per
+    event, the trivially correct strategy.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 64
+
+    def append(self, item: Any) -> None:  # pragma: no cover - guarded out
+        pass
+
+    def pop(self) -> Any:  # pragma: no cover - pools are checked first
+        raise IndexError("pop from the reference no-pool")
+
+
+class ReferenceScheduler(Simulator):
+    """The original single-heap scheduler, kept as the differential oracle.
+
+    Every event — zero-delay or timed — goes through one binary heap of
+    ``(time, sequence, event)`` tuples, exactly as the pre-fast-path
+    kernel did.  Zero-delay scheduling reaches the heap through the
+    :class:`_ReferenceLane` now-lane stand-in, and timeout creation is
+    rerouted through :meth:`_schedule` (the fast kernel inlines its
+    bucket pushes, which must not touch this scheduler's tuple heap).
+    The differential suite runs identical workloads through this and the
+    calendar-queue :class:`Simulator` and asserts the event orderings and
+    result digests match; any ordering bug in the fast lanes shows up as
+    a divergence from this oracle.  Slow by design — never use it for
+    real experiments.
+    """
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__()
+        self._nowq = _ReferenceLane(self)  # type: ignore[assignment]
+        self._push_now = self._nowq.append
+        self._timeout_pool = _NoPool()  # type: ignore[assignment]
+        self.timeout = self._timed  # type: ignore[assignment]
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        seq = self._sequence + 1
+        self._sequence = seq
+        event._qseq = seq
+        heapq.heappush(self._heap, (self._now + delay, seq, event))
+
+    def _timed(self, delay: float, value: Any = None) -> Timeout:
+        """Build a timeout without the fast kernel's inlined push."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        timeout = Timeout.__new__(Timeout)
+        timeout.sim = self
+        timeout._callbacks = None
+        timeout._waiter = None
+        timeout._value = value
+        timeout._ok = True
+        timeout._triggered = True
+        timeout._processed = False
+        timeout._cancelled = False
+        timeout.delay = delay
+        self._schedule(timeout, delay)
+        return timeout
+
+    def _timeout_pooled(self, delay: float) -> Timeout:
+        # The oracle never pools: allocation strategy is invisible to
+        # the event stream, and fresh objects keep it trivially correct.
+        return self._timed(delay)
+
+    def _pop(self) -> Optional[Event]:
+        if not self._heap:
+            return None
+        when, __, event = heapq.heappop(self._heap)
+        self._now = when
+        return event
+
+    def peek(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def _pending(self) -> bool:
+        return bool(self._heap)
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        heap = self._heap
+        heappop = heapq.heappop
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event._processed:
+                if not heap:
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event fired (deadlock?)"
+                    )
+                when, __, event = heappop(heap)
+                self._now = when
+                event._fire()
+            if stop_event.ok:
+                return stop_event._value
+            raise stop_event._value
+        if until is None:
+            while heap:
+                when, __, event = heappop(heap)
+                self._now = when
+                event._fire()
             return None
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(
                 f"cannot run until {horizon} (now is {self._now})"
             )
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        while heap and heap[0][0] <= horizon:
+            when, __, event = heappop(heap)
+            self._now = when
+            event._fire()
         self._now = max(self._now, horizon)
         return None

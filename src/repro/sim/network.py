@@ -156,7 +156,9 @@ class Network:
             tracer.end_span(outer)
 
     def _transfer(self, src: str, dst: str, nbytes: int):
-        if self.sim.deadline_exceeded():
+        sim = self.sim
+        deadline = sim.deadline  # inlined sim.deadline_exceeded()
+        if deadline is not None and sim._now >= deadline:
             # A request that is already late never reaches the wire.
             self.messages_expired += 1
             raise DeadlineExceededError(
@@ -167,22 +169,28 @@ class Network:
             self.messages_failed += 1
             raise NodeDownError(f"{src} is down", node=src)
         if src == dst:
-            yield self.sim.timeout(5e-6)
+            # Loopback: the timer's whole lifecycle is this frame, so it
+            # comes from (and returns to) the kernel's timeout freelist.
+            timeout = sim._timeout_pooled(5e-6)
+            yield timeout
+            sim._recycle_timeout(timeout)
             return
         if not self.reachable(src, dst):
             self.messages_failed += 1
-            yield self.sim.timeout(self.spec.unreachable_timeout_s)
+            yield sim.timeout(self.spec.unreachable_timeout_s)
             raise PartitionedError(
                 f"{src} cannot reach {dst} (partition)", node=dst)
         if dst in self._down:
             self.messages_failed += 1
-            yield self.sim.timeout(2 * self.spec.latency_s)  # SYN + RST
+            yield sim.timeout(2 * self.spec.latency_s)  # SYN + RST
             raise NodeDownError(
                 f"connection refused: {dst} is down", node=dst)
         wire = self.spec.wire_time(nbytes)
-        yield self.sim.process(self._egress[src].use(wire))
-        yield self.sim.timeout(self.spec.latency_s)
-        yield self.sim.process(self._ingress[dst].use(wire))
+        yield sim.process(self._egress[src].use(wire))
+        timeout = sim._timeout_pooled(self.spec.latency_s)
+        yield timeout
+        sim._recycle_timeout(timeout)
+        yield sim.process(self._ingress[dst].use(wire))
 
     def rpc(self, src: "str | Node", dst: "str | Node", request_bytes: int,
             response_bytes: int, handler):
