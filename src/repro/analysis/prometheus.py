@@ -28,14 +28,22 @@ def _labels_suffix(channel: str) -> str:
 
 
 def registry_to_prometheus(registry: MetricsRegistry,
-                           help_text: dict[str, str] | None = None) -> str:
+                           help_text: dict[str, str] | None = None,
+                           exemplars: dict | None = None) -> str:
     """The registry snapshot in Prometheus text exposition format.
 
     ``help_text`` optionally maps metric names to `# HELP` strings.
     Histograms expose their ``_count`` and ``_sum`` samples (the
     per-window envelope lives in the CSV timeseries instead).
+
+    ``exemplars`` optionally maps histogram channels (e.g.
+    ``op_latency{op="read"}``) to ``(trace_id, value)`` pairs, rendered
+    as OpenMetrics exemplar annotations on the ``_count`` sample —
+    ``... # {trace_id="17"} 0.31`` — linking the exported distribution
+    to a concrete retained trace.
     """
     help_text = help_text or {}
+    exemplars = exemplars or {}
     lines: list[str] = []
     seen_headers: set[str] = set()
     for metric in registry:
@@ -48,8 +56,14 @@ def registry_to_prometheus(registry: MetricsRegistry,
             lines.append(f"# TYPE {metric.name} {metric.kind}")
         suffix = _labels_suffix(metric.channel)
         if isinstance(metric, WindowedHistogram):
-            lines.append(
+            count_line = (
                 f"{metric.name}_count{suffix} {repr(float(metric.count))}")
+            exemplar = exemplars.get(metric.channel)
+            if exemplar is not None:
+                trace_id, value = exemplar
+                count_line += (f' # {{trace_id="{trace_id}"}} '
+                               f"{repr(float(value))}")
+            lines.append(count_line)
             lines.append(
                 f"{metric.name}_sum{suffix} {repr(float(metric.total))}")
         else:

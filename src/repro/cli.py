@@ -11,6 +11,7 @@ Subcommands::
     apmbench overload -s redis -n 1 --multipliers 0.5,1,1.5,2
     apmbench overload -s redis -n 1 --shape flash:at=0.5,multiplier=4
     apmbench control -s redis --rate 1600 --shape diurnal --kill-at 9
+    apmbench obs -s redis --rate 1200 --crash server-0 --restart-after 1
     apmbench verify-figures apmbench-results/figures
     apmbench capacity --monitored 240 --throughput-per-node 15000
 
@@ -445,6 +446,56 @@ def _cmd_control(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import ObsPolicy, ObsScenario, default_slos, \
+        run_obs_scenario
+    from repro.overload import OverloadPolicy, parse_shape
+    from repro.ycsb.runner import BenchmarkConfig
+
+    workload = WORKLOADS[args.workload]
+    spec = CLUSTER_D if args.cluster == "D" else CLUSTER_M
+    nodes = [f"server-{i}" for i in range(args.nodes)]
+    schedule = None
+    if args.crash:
+        schedule = FaultSchedule()
+        for target in args.crash:
+            if target not in nodes:
+                print(f"unknown node {target!r} (have {', '.join(nodes)})",
+                      file=sys.stderr)
+                return 2
+            schedule.crash(target, at=args.at,
+                           restart_after=args.restart_after)
+    overload = OverloadPolicy(max_queue=args.max_queue,
+                              deadline_s=args.deadline)
+    config = BenchmarkConfig(
+        store=args.store, workload=workload, n_nodes=args.nodes,
+        cluster_spec=spec, records_per_node=args.records,
+        seed=args.seed, overload=overload, fault_schedule=schedule,
+    )
+    policy = ObsPolicy(
+        slos=default_slos(latency_slo_s=args.slo,
+                          latency_target=args.slo_target,
+                          availability_target=args.availability_target),
+        window_s=args.window, tick_s=args.window,
+    )
+    scenario = ObsScenario(
+        config=config, policy=policy, offered_rate=args.rate,
+        duration_s=args.duration, warmup_s=args.warmup,
+        shape=parse_shape(args.shape) if args.shape else None,
+        slo_s=args.slo,
+    )
+    report = run_obs_scenario(scenario)
+    print(report.render())
+    if args.export:
+        out = Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n")
+        print(f"\nwrote incident report to {out}")
+    return 0
+
+
 def _cmd_verify_figures(args: argparse.Namespace) -> int:
     from repro.orchestrator import verify_figures
 
@@ -766,6 +817,62 @@ def main(argv: list[str] | None = None) -> int:
     control_parser.add_argument("--export", metavar="FILE",
                                 help="write both arms as stamped JSON")
 
+    obs_parser = sub.add_parser(
+        "obs",
+        help="observed incident run: SLO burn-rate alerts, exemplar "
+             "trace IDs, tail-sampled traces, flight-recorder dumps")
+    obs_parser.add_argument("-s", "--store", choices=STORE_NAMES,
+                            default="redis")
+    obs_parser.add_argument("-w", "--workload",
+                            choices=list(WORKLOADS), default="R")
+    obs_parser.add_argument("-c", "--cluster", choices=("M", "D"),
+                            default="M")
+    obs_parser.add_argument("-n", "--nodes", type=int, default=1)
+    obs_parser.add_argument("--records", type=int, default=2000,
+                            help="records per node (default 2000)")
+    obs_parser.add_argument("--seed", type=int, default=42)
+    obs_parser.add_argument("--rate", type=float, default=1200.0,
+                            help="offered rate in ops/s (default 1200)")
+    obs_parser.add_argument("--duration", type=float, default=3.0,
+                            help="measured horizon in simulated seconds "
+                                 "(default 3)")
+    obs_parser.add_argument("--warmup", type=float, default=0.0,
+                            help="unmeasured lead-in (default 0)")
+    obs_parser.add_argument("--shape", metavar="SPEC",
+                            help="arrival shape: diurnal | flash | step "
+                                 "with key=value overrides "
+                                 "(default: constant rate)")
+    obs_parser.add_argument("--slo", type=float, default=0.05,
+                            help="latency SLO threshold in seconds "
+                                 "(default 0.05)")
+    obs_parser.add_argument("--slo-target", type=float, default=0.99,
+                            help="fraction of ops that must meet the "
+                                 "latency SLO (default 0.99)")
+    obs_parser.add_argument("--availability-target", type=float,
+                            default=0.999,
+                            help="fraction of ops that must succeed "
+                                 "(default 0.999)")
+    obs_parser.add_argument("--window", type=float, default=0.25,
+                            help="SLO evaluation tick and series window "
+                                 "in simulated seconds (default 0.25)")
+    obs_parser.add_argument("--deadline", type=float, default=0.05,
+                            help="per-op deadline in seconds "
+                                 "(default 0.05)")
+    obs_parser.add_argument("--max-queue", type=int, default=64,
+                            help="bounded-queue admission limit "
+                                 "(default 64)")
+    obs_parser.add_argument("--crash", action="append", metavar="NODE",
+                            help="chaos: node to crash (repeatable)")
+    obs_parser.add_argument("--at", type=float, default=1.0,
+                            help="crash time in simulated seconds "
+                                 "(default 1.0)")
+    obs_parser.add_argument("--restart-after", type=float, default=None,
+                            help="restart the node this long after the "
+                                 "crash (default: stays down)")
+    obs_parser.add_argument("--export", metavar="FILE",
+                            help="write the full incident report as "
+                                 "stamped JSON (byte-deterministic)")
+
     verify_parser = sub.add_parser(
         "verify-figures",
         help="check exported figure JSON against the paper's "
@@ -796,6 +903,7 @@ def main(argv: list[str] | None = None) -> int:
         "grid": _cmd_grid,
         "overload": _cmd_overload,
         "control": _cmd_control,
+        "obs": _cmd_obs,
         "verify-figures": _cmd_verify_figures,
         "capacity": _cmd_capacity,
     }

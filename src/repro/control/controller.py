@@ -39,10 +39,15 @@ class Controller:
 
     def __init__(self, topology: ClusterTopology, series: WindowedSeries,
                  policy: ControlPolicy,
-                 store_name: Optional[str] = None):
+                 store_name: Optional[str] = None,
+                 recorder=None):
         self.topology = topology
         self.policy = policy
         self.series = series
+        #: Optional :class:`~repro.obs.recorder.FlightRecorder`: every
+        #: decision lands in the observability ring alongside chaos
+        #: events and rejected operations.
+        self.recorder = recorder
         #: Store name for the analyzer's executor/op channels; defaults
         #: to the deployed store's own name.
         self.store_name = (store_name if store_name is not None
@@ -163,7 +168,7 @@ class Controller:
             if node.up or node.retired or node.name in self._replacing:
                 continue
             self._replacing.add(node.name)
-            self.decisions.append(ControlDecision(
+            self._log_decision(ControlDecision(
                 t=now, action="replace", node=node.name,
                 reason=f"node {node.name} is down and not retired",
                 pressure=0.0, bottleneck="liveness",
@@ -178,9 +183,17 @@ class Controller:
         self._replacing.discard(node.name)
         self._cooldown_until = self.sim.now + policy.cooldown_s
 
+    def _log_decision(self, decision: ControlDecision) -> None:
+        self.decisions.append(decision)
+        if self.recorder is not None:
+            self.recorder.record("control-decision",
+                                 action=decision.action,
+                                 node=decision.node,
+                                 reason=decision.reason)
+
     def _decide(self, action: str, node: str, reason: str, verdict,
                 n_active: int) -> None:
-        self.decisions.append(ControlDecision(
+        self._log_decision(ControlDecision(
             t=self.sim.now, action=action, node=node, reason=reason,
             pressure=verdict.pressure, bottleneck=verdict.bottleneck,
             n_active=n_active))

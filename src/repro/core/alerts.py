@@ -1,5 +1,16 @@
 """Threshold triggers over monitored metrics (Section 2).
 
+.. deprecated::
+    :class:`AlertEngine` is superseded by the SLO burn-rate engine in
+    :mod:`repro.obs` (:class:`~repro.obs.slo.SLOEngine`), which is the
+    canonical alerting path: it alerts on error-budget *burn rate*
+    over paired long/short windows rather than raw thresholds, links
+    alerts to exemplar traces, and dumps the flight recorder on
+    breach.  This module remains as the paper's literal Section 2
+    trigger mechanism (store-backed window queries) for the
+    historical-query benchmarks; constructing an :class:`AlertEngine`
+    emits a :class:`DeprecationWarning`.
+
 "Some of the metrics are monitored by certain triggers that issue
 notifications in extreme cases."  This module provides that on-line
 side of APM: a :class:`TriggerRule` watches one metric (or a metric
@@ -11,6 +22,7 @@ hysteresis so a flapping metric does not storm the operator.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -86,6 +98,12 @@ class AlertEngine:
     rules: list[TriggerRule] = field(default_factory=list)
     _firing: set[str] = field(default_factory=set)
     notifications: list[Notification] = field(default_factory=list)
+
+    def __post_init__(self):
+        warnings.warn(
+            "repro.core.alerts.AlertEngine is deprecated; the SLO "
+            "burn-rate engine in repro.obs is the canonical alerting "
+            "path", DeprecationWarning, stacklevel=2)
 
     def add_rule(self, rule: TriggerRule) -> None:
         """Register a rule (names must be unique)."""

@@ -30,6 +30,9 @@ class ChaosController:
         self._listeners: list[object] = []
         #: Applied actions as ``(sim_time, description)`` pairs.
         self.log: list[tuple[float, str]] = []
+        #: Optional :class:`~repro.obs.recorder.FlightRecorder`: every
+        #: applied action lands in the observability ring too.
+        self.recorder = None
 
     def subscribe(self, listener: object) -> None:
         """Register a listener with ``on_node_down`` / ``on_node_up`` hooks.
@@ -63,6 +66,10 @@ class ChaosController:
 
     def _apply(self, action: FaultAction) -> None:
         cluster = self.cluster
+        # Recorded before the effect lands: a listener-triggered dump
+        # (e.g. node-failure) must contain its own cause.
+        if self.recorder is not None:
+            self.recorder.record("chaos", action=action.describe())
         if action.kind is FaultKind.CRASH:
             node = cluster.node(action.target)
             node.fail()

@@ -27,6 +27,9 @@ class MetricsReport:
     series: WindowedSeries
     saturation: Optional[SaturationReport]
     sustained: Optional[SustainedVerdict]
+    #: Trace exemplars retained by the observability layer (``None``
+    #: when the run carried no :class:`~repro.obs.policy.ObsPolicy`).
+    exemplars: Optional[object] = None
 
     @property
     def bottleneck(self) -> Optional[str]:
@@ -49,9 +52,21 @@ class MetricsReport:
         return self.series.to_csv()
 
     def to_prometheus(self) -> str:
-        """The final registry snapshot in Prometheus text format."""
+        """The final registry snapshot in Prometheus text format.
+
+        With exemplars attached, histogram ``_count`` lines carry
+        OpenMetrics ``# {trace_id="..."}`` annotations.
+        """
         from repro.analysis.prometheus import registry_to_prometheus
-        return registry_to_prometheus(self.registry)
+        exemplar_map = (self.exemplars.prometheus_exemplars()
+                        if self.exemplars is not None else None)
+        return registry_to_prometheus(self.registry,
+                                      exemplars=exemplar_map)
+
+    def exemplars_csv(self) -> str:
+        """Exemplar grid as CSV ('' when no exemplars were retained)."""
+        return (self.exemplars.to_csv()
+                if self.exemplars is not None else "")
 
     def to_payload(self) -> dict:
         """A JSON-ready dict: series + analyses (no wall-clock data)."""
@@ -61,4 +76,6 @@ class MetricsReport:
                            if self.saturation else None),
             "sustained": (self.sustained.to_payload()
                           if self.sustained else None),
+            "exemplars": (self.exemplars.to_payload()
+                          if self.exemplars is not None else None),
         }

@@ -1,0 +1,33 @@
+"""repro.obs — the self-APM layer: the benchmark observing itself.
+
+The paper's premise is that an APM product must watch millions of
+metrics and surface the few that matter.  This package closes that loop
+over the reproduction's own telemetry: declarative SLOs with
+Google-SRE multi-window burn-rate alerting
+(:mod:`~repro.obs.slo`), exemplar links from histogram cells to
+concrete span trees (:mod:`~repro.obs.exemplars`), tail-based trace
+sampling that keeps the traces incidents are made of
+(:mod:`~repro.obs.tailsample`), an always-on flight recorder dumped on
+breach or failure (:mod:`~repro.obs.recorder`), and the scenario
+harness behind ``apmbench obs`` (:mod:`~repro.obs.harness`).
+
+Everything runs on simulated time with bounded, deterministic state:
+a fixed seed yields byte-identical alert logs, exemplar sets and
+flight-recorder dumps.
+"""
+
+from repro.obs.exemplars import ExemplarStore
+from repro.obs.harness import ObsReport, ObsScenario, run_obs_scenario
+from repro.obs.layer import ObsLayer
+from repro.obs.policy import (DEFAULT_RULES, SLO, BurnRateRule, ObsPolicy,
+                              default_slos)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOEngine, burn_rate, should_clear, should_fire
+from repro.obs.tailsample import TailSampler
+
+__all__ = [
+    "SLO", "BurnRateRule", "ObsPolicy", "DEFAULT_RULES", "default_slos",
+    "SLOEngine", "burn_rate", "should_fire", "should_clear",
+    "ExemplarStore", "TailSampler", "FlightRecorder", "ObsLayer",
+    "ObsScenario", "ObsReport", "run_obs_scenario",
+]

@@ -1,0 +1,83 @@
+"""The flight recorder: a bounded ring of recent observability events.
+
+Production APM systems keep an always-on, low-cost buffer of recent
+activity so that *when* something breaks there is context from *before*
+the break — the last spans, the last control decisions, the chaos event
+that started it.  :class:`FlightRecorder` is that buffer on simulated
+time: a fixed-capacity ring of ``{"t": ..., "kind": ..., ...}`` entries
+that is snapshotted ("dumped") automatically on an SLO breach, a node
+failure, or a simulation error.
+
+Dumps are bounded (``max_dumps``) and deduplicated per trigger
+(``min_gap_s``), so a burn-rate storm produces one postmortem artefact,
+not hundreds.  Everything is JSON-ready and deterministic: entries carry
+simulated timestamps only, and the ring is snapshotted in insertion
+order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded event ring with triggered, rate-limited dumps."""
+
+    def __init__(self, sim, capacity: int = 256, max_dumps: int = 8,
+                 min_gap_s: float = 0.5):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_dumps < 1:
+            raise ValueError("max_dumps must be >= 1")
+        if min_gap_s < 0:
+            raise ValueError("min_gap_s must be >= 0")
+        self.sim = sim
+        self.capacity = capacity
+        self.max_dumps = max_dumps
+        self.min_gap_s = min_gap_s
+        self.entries: deque = deque(maxlen=capacity)
+        #: Total entries ever recorded (the ring only keeps the tail).
+        self.recorded = 0
+        #: Snapshot dicts, in trigger order.
+        self.dumps: list[dict] = []
+        #: Dump requests suppressed by the cap or the per-trigger gap.
+        self.suppressed = 0
+        self._last_by_trigger: dict[str, float] = {}
+
+    def record(self, kind: str, **data) -> None:
+        """Append one event to the ring at the current simulated time."""
+        entry = {"t": self.sim.now, "kind": kind}
+        entry.update(data)
+        self.entries.append(entry)
+        self.recorded += 1
+
+    def dump(self, trigger: str, reason: str = "") -> Optional[dict]:
+        """Snapshot the ring; ``None`` when rate-limited or capped."""
+        now = self.sim.now
+        last = self._last_by_trigger.get(trigger)
+        if (len(self.dumps) >= self.max_dumps
+                or (last is not None and now - last < self.min_gap_s)):
+            self.suppressed += 1
+            return None
+        self._last_by_trigger[trigger] = now
+        snapshot = {
+            "t": now,
+            "trigger": trigger,
+            "reason": reason,
+            "entries": [dict(entry) for entry in self.entries],
+        }
+        self.dumps.append(snapshot)
+        return snapshot
+
+    def to_payload(self) -> dict:
+        """JSON-ready state: dumps plus the ring's final contents."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "suppressed": self.suppressed,
+            "dumps": self.dumps,
+            "ring": [dict(entry) for entry in self.entries],
+        }

@@ -1,0 +1,103 @@
+"""Tail-based trace sampling: keep/drop decided at completion.
+
+Head sampling (the every-Nth :class:`~repro.trace.span.Tracer`) decides
+*before* an operation runs, so it keeps mostly healthy traces and misses
+exactly the operations an incident is made of.  Tail sampling defers the
+decision to span-tree completion, when the outcome is known:
+
+* **errored** operations are kept, tagged ``error:<kind>`` with the
+  four-way error classification (store / fault / overload / deadline) —
+  so deadline-expired and admission-rejected traces survive;
+* **slow** successes over ``slow_threshold_s`` are kept (``slow``);
+* every ``baseline_every``-th healthy operation is kept (``baseline``)
+  so the retained set also shows what *normal* looked like;
+* everything else is dropped after its spans were recorded.
+
+The keep budget is a hard deterministic cap: once ``keep_budget`` traces
+are retained, further keep-worthy traces are counted
+(``budget_exhausted``) but dropped — first-come-first-kept in
+simulation order, so a fixed seed retains the identical trace set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.span import Trace, Tracer
+
+__all__ = ["TailSampler"]
+
+
+class TailSampler(Tracer):
+    """A :class:`Tracer` whose keep/drop decision happens at completion.
+
+    ``candidate_every`` gates which operations open a span tree at all
+    (the instrumentation cost); the tail decision then picks which
+    finished trees are retained.  With the default of 1 every operation
+    is a candidate.
+    """
+
+    def __init__(self, sim, slow_threshold_s: float,
+                 keep_budget: int = 200, baseline_every: int = 50,
+                 candidate_every: int = 1):
+        super().__init__(sim, sample_every=candidate_every,
+                         max_traces=keep_budget)
+        if slow_threshold_s <= 0:
+            raise ValueError("slow_threshold_s must be positive")
+        if baseline_every < 0:
+            raise ValueError("baseline_every must be >= 0")
+        self.slow_threshold_s = slow_threshold_s
+        self.keep_budget = keep_budget
+        self.baseline_every = baseline_every
+        #: keep reason -> retained count.
+        self.kept_by_reason: dict[str, int] = {}
+        #: Healthy candidates dropped by the baseline gate.
+        self.discarded = 0
+        #: Keep-worthy traces dropped because the budget was spent.
+        self.budget_exhausted = 0
+        self._healthy_counter = 0
+
+    def decide(self, trace: Trace, error: bool,
+               kind: Optional[str]) -> Optional[str]:
+        """The keep reason for a finished trace (``None`` = drop)."""
+        if error:
+            return f"error:{kind or 'store'}"
+        if trace.latency >= self.slow_threshold_s:
+            return "slow"
+        self._healthy_counter += 1
+        if (self.baseline_every
+                and (self._healthy_counter - 1) % self.baseline_every == 0):
+            return "baseline"
+        return None
+
+    def complete(self, trace: Trace, error: bool = False,
+                 kind: Optional[str] = None) -> Trace:
+        """Close the root span, then decide the trace's fate."""
+        trace.root.end = self.sim.now
+        trace.error = error
+        trace.error_kind = (kind or "store") if error else None
+        self.sim.context = None
+        reason = self.decide(trace, error, kind)
+        if reason is not None and len(self.traces) >= self.keep_budget:
+            self.budget_exhausted += 1
+            reason = None
+        trace.keep_reason = reason
+        if reason is None:
+            self.discarded += 1
+        else:
+            self.kept_by_reason[reason] = (
+                self.kept_by_reason.get(reason, 0) + 1)
+            self.traces.append(trace)
+        return trace
+
+    def stats(self) -> dict:
+        """JSON-ready tail-sampling tallies."""
+        return {
+            "candidates": self._op_counter,
+            "kept": len(self.traces),
+            "kept_by_reason": dict(sorted(self.kept_by_reason.items())),
+            "discarded": self.discarded,
+            "budget_exhausted": self.budget_exhausted,
+            "keep_budget": self.keep_budget,
+            "slow_threshold_s": self.slow_threshold_s,
+        }

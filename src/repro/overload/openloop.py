@@ -214,6 +214,22 @@ class _OpenLoopRun:
             from repro.overload.budget import CircuitBreaker
 
             self.breaker = CircuitBreaker()
+        # Chaos: the config's fault schedule plays out during the drive,
+        # exactly as in the closed-loop runner (new harnesses only; the
+        # constant-rate exports all use fault-free configs).
+        self.chaos = None
+        if (config.fault_schedule is not None
+                and len(config.fault_schedule)):
+            from repro.faults.chaos import ChaosController
+
+            self.chaos = ChaosController(self.cluster,
+                                         config.fault_schedule)
+            self.chaos.subscribe(self.store)
+            if self.breaker is not None:
+                self.chaos.subscribe(self.breaker)
+        #: Optional :class:`~repro.obs.layer.ObsLayer` — see
+        #: :meth:`attach_obs`.
+        self.obs = None
 
         self._op_table = config.workload.op_table()
         # Window accounting (arrival-indexed).
@@ -225,6 +241,12 @@ class _OpenLoopRun:
         self.latency_count = 0
         self.max_queue_depth = 0
         self._draining = False
+
+    def attach_obs(self, obs) -> None:
+        """Attach an observability layer; wires chaos into its recorder."""
+        self.obs = obs
+        if self.chaos is not None:
+            obs.attach_chaos(self.chaos)
 
     # -- processes -----------------------------------------------------------
 
@@ -270,6 +292,12 @@ class _OpenLoopRun:
         sim = self.sim
         session = self.sessions[index % len(self.sessions)]
         arrival = sim.now
+        obs = self.obs
+        trace = None
+        if (obs is not None and measured
+                and obs.tracer.should_sample()):
+            trace = obs.tracer.begin(op.value, key,
+                                     index % len(self.sessions))
         if self.deadline_s is not None:
             sim.deadline = arrival + self.deadline_s
         try:
@@ -281,9 +309,13 @@ class _OpenLoopRun:
             )
         finally:
             sim.deadline = None
+        if trace is not None:
+            obs.tracer.complete(trace, error, kind)
         if not measured:
             return
         latency = sim.now - arrival
+        if obs is not None:
+            obs.note_op(op.value, latency, error, kind, trace)
         self.latency_total += latency
         self.latency_count += 1
         bucket = (None if self.timeline_s is None
@@ -365,6 +397,8 @@ class _OpenLoopRun:
         ]
 
     def run(self) -> OverloadPoint:
+        if self.chaos is not None:
+            self.chaos.start()
         self.sim.process(self._monitor(), name="queue-monitor")
         arrivals = (self._arrivals() if self.shape is None
                     else self._shaped_arrivals())

@@ -66,7 +66,8 @@ class Span:
 class Trace:
     """One sampled operation: identity plus its root span."""
 
-    __slots__ = ("trace_id", "op", "key", "thread", "root", "error")
+    __slots__ = ("trace_id", "op", "key", "thread", "root", "error",
+                 "error_kind", "keep_reason")
 
     def __init__(self, trace_id: int, op: str, key: str, thread: int,
                  root: Span):
@@ -76,6 +77,12 @@ class Trace:
         self.thread = thread
         self.root = root
         self.error = False
+        #: Error classification (see :data:`repro.ycsb.stats.ERROR_KINDS`);
+        #: ``None`` for successful operations.
+        self.error_kind: Optional[str] = None
+        #: Why a tail sampler retained this trace (``None`` for head
+        #: sampling, where every completed trace is kept).
+        self.keep_reason: Optional[str] = None
 
     @property
     def latency(self) -> float:
@@ -126,10 +133,16 @@ class Tracer:
         self.sim.context = root
         return trace
 
-    def complete(self, trace: Trace, error: bool = False) -> Trace:
-        """Close the root span and deactivate the context."""
+    def complete(self, trace: Trace, error: bool = False,
+                 kind: Optional[str] = None) -> Trace:
+        """Close the root span and deactivate the context.
+
+        ``kind`` classifies an error (see
+        :data:`repro.ycsb.stats.ERROR_KINDS`); ignored on success.
+        """
         trace.root.end = self.sim.now
         trace.error = error
+        trace.error_kind = (kind or "store") if error else None
         self.sim.context = None
         if len(self.traces) < self.max_traces:
             self.traces.append(trace)

@@ -119,7 +119,7 @@ class ClientThread:
                  schema: RecordSchema, throttle: Throttle | None = None,
                  retry: RetryPolicy | None = None, tracer=None,
                  deadline_s: Optional[float] = None, budget=None,
-                 breaker=None):
+                 breaker=None, obs=None):
         self.session = session
         self.workload = workload
         self.chooser = chooser
@@ -137,6 +137,8 @@ class ClientThread:
         self.budget = budget
         #: Shared :class:`~repro.overload.budget.CircuitBreaker`, or ``None``.
         self.breaker = breaker
+        #: Shared :class:`~repro.obs.layer.ObsLayer`, or ``None``.
+        self.obs = obs
         self._op_table = workload.op_table()
 
     def _draw_op(self) -> OpType:
@@ -199,10 +201,12 @@ class ClientThread:
                     sim.deadline = None
             latency = sim.now - started
             if trace is not None:
-                self.tracer.complete(trace, error)
+                self.tracer.complete(trace, error, kind)
             self.stats.note_op(sim.now, error)
             if self.control.measuring and not self.control.done:
                 self.stats.record(op, latency, error, kind)
                 if trace is not None:
                     self.stats.note_trace(trace)
+                if self.obs is not None:
+                    self.obs.note_op(op.value, latency, error, kind, trace)
             self.control.note_completion(self.stats, sim.now)

@@ -311,6 +311,11 @@ class BenchmarkResult:
     traces: list = field(default_factory=list)
     #: Telemetry bundle (``None`` unless ``metrics_interval_s`` was set).
     metrics: Optional["MetricsReport"] = None
+    #: Observability layer (``None`` unless ``run_benchmark`` got an
+    #: ``obs`` policy): SLO alerts, exemplars, tail sampling, flight
+    #: recorder.  Deliberately *not* part of :class:`BenchmarkConfig` —
+    #: watching a run must not change its identity (content key).
+    obs: Optional[object] = None
 
     @property
     def breakdown(self):
@@ -373,12 +378,18 @@ def _build_store(config: BenchmarkConfig, cluster: Cluster,
 
 def run_benchmark(store: str, workload: Workload, n_nodes: int,
                   config: Optional[BenchmarkConfig] = None,
-                  **overrides) -> BenchmarkResult:
+                  obs=None, **overrides) -> BenchmarkResult:
     """Run one benchmark data point and return its measurements.
 
     ``store`` is a registry name ("cassandra", "hbase", "voldemort",
     "redis", "voltdb", "mysql"); extra keyword arguments override
     :class:`BenchmarkConfig` fields.
+
+    ``obs`` optionally attaches an :class:`~repro.obs.policy.ObsPolicy`
+    observability overlay (SLO burn-rate alerting, exemplar-linked tail
+    sampling, flight recorder).  It is a separate parameter, not a
+    config field: observing a run must not change its content key or
+    provenance fingerprint.
     """
     if config is None:
         config = BenchmarkConfig(store=store, workload=workload,
@@ -446,7 +457,7 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
             if chaos is not None:
                 chaos.subscribe(breaker)
     tracer = None
-    if config.trace_sample_every is not None:
+    if obs is None and config.trace_sample_every is not None:
         tracer = Tracer(cluster.sim,
                         sample_every=config.trace_sample_every,
                         max_traces=config.trace_max_traces)
@@ -459,6 +470,18 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         deployed.attach_metrics(registry)
         sampler = MetricsSampler(registry, config.metrics_interval_s)
         sampler.start()
+    obs_layer = None
+    if obs is not None:
+        from repro.obs import ObsLayer
+        # Tail sampling replaces head sampling: the keep/drop decision
+        # moves to span-tree completion, with ``trace_sample_every``
+        # (when set) gating which operations are candidates at all.
+        obs_layer = ObsLayer(cluster.sim, obs, registry=registry,
+                             candidate_every=config.trace_sample_every)
+        tracer = obs_layer.tracer
+        if chaos is not None:
+            obs_layer.attach_chaos(chaos)
+        obs_layer.start()
     from repro.sim.rng import RngRegistry
     rngs = RngRegistry(config.seed)
     threads = []
@@ -472,6 +495,7 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
             session, workload, chooser, sequence, stats, control, rng,
             schema, throttle, retry=config.retry, tracer=tracer,
             deadline_s=deadline_s, budget=budget, breaker=breaker,
+            obs=obs_layer,
         ))
     processes = [cluster.sim.process(t.run(), name=f"client-{i}")
                  for i, t in enumerate(threads)]
@@ -503,7 +527,12 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
                     subwindows=config.sustained_subwindows,
                     tolerance=config.sustained_tolerance)
         metrics = MetricsReport(registry=registry, series=sampler.series,
-                                saturation=saturation, sustained=sustained)
+                                saturation=saturation, sustained=sustained,
+                                exemplars=(obs_layer.exemplars
+                                           if obs_layer is not None
+                                           else None))
+    if obs_layer is not None:
+        obs_layer.close()
 
     return BenchmarkResult(
         config=config,
@@ -514,4 +543,5 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
         fault_log=list(chaos.log) if chaos is not None else [],
         traces=list(tracer.traces) if tracer is not None else [],
         metrics=metrics,
+        obs=obs_layer,
     )

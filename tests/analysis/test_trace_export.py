@@ -1,0 +1,70 @@
+"""Chrome-trace export: span events, retry flow events, tail args."""
+
+from repro.analysis.trace_export import chrome_trace
+from repro.trace.span import Span, Trace
+
+
+def make_trace(attempt_windows, trace_id=7, error=False,
+               error_kind=None, keep_reason=None):
+    """A trace whose root has one ``store`` child per attempt window."""
+    root = Span("op.read", "op", 0.0)
+    for start, end in attempt_windows:
+        child = Span("redis.read", "store", start, parent=root)
+        child.end = end
+        root.children.append(child)
+    root.end = attempt_windows[-1][1] if attempt_windows else 0.001
+    trace = Trace(trace_id, "read", "user1", 0, root)
+    trace.error = error
+    trace.error_kind = error_kind
+    trace.keep_reason = keep_reason
+    return trace
+
+
+class TestFlowEvents:
+    def test_retried_trace_links_attempts_with_flows(self):
+        trace = make_trace([(0.0, 0.010), (0.015, 0.030)])
+        events = chrome_trace([trace])["traceEvents"]
+        flows = [e for e in events if e.get("cat") == "retry"]
+        assert [f["ph"] for f in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["id"] == finish["id"] == 7
+        assert start["ts"] == 10000.0  # first attempt's end, in us
+        assert finish["ts"] == 15000.0  # second attempt's start
+        assert finish["bp"] == "e"
+
+    def test_three_attempts_chain_two_flows(self):
+        trace = make_trace([(0.0, 0.01), (0.02, 0.03), (0.04, 0.05)])
+        events = chrome_trace([trace])["traceEvents"]
+        flows = [e for e in events if e.get("cat") == "retry"]
+        assert [f["ph"] for f in flows] == ["s", "f", "s", "f"]
+
+    def test_attempt_numbers_annotated(self):
+        trace = make_trace([(0.0, 0.01), (0.02, 0.03)])
+        events = chrome_trace([trace])["traceEvents"]
+        attempts = [e["args"]["attempt"] for e in events
+                    if e.get("args", {}).get("attempt")]
+        assert attempts == [1, 2]
+
+    def test_single_attempt_has_no_flow_or_attempt_args(self):
+        """The fault-free golden shape: no new events, no new args."""
+        trace = make_trace([(0.0, 0.01)])
+        events = chrome_trace([trace])["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        assert all("attempt" not in e.get("args", {}) for e in events)
+
+    def test_root_args_carry_tail_sampling_fields(self):
+        trace = make_trace([(0.0, 0.01)], error=True,
+                           error_kind="deadline",
+                           keep_reason="error:deadline")
+        events = chrome_trace([trace])["traceEvents"]
+        root = next(e for e in events if e["name"] == "op.read")
+        assert root["args"]["error"] is True
+        assert root["args"]["error_kind"] == "deadline"
+        assert root["args"]["keep_reason"] == "error:deadline"
+
+    def test_healthy_root_omits_tail_fields(self):
+        trace = make_trace([(0.0, 0.01)])
+        events = chrome_trace([trace])["traceEvents"]
+        root = next(e for e in events if e["name"] == "op.read")
+        assert "error_kind" not in root["args"]
+        assert "keep_reason" not in root["args"]

@@ -1,4 +1,11 @@
-"""Unit tests for the Section 2 alerting triggers."""
+"""Unit tests for the Section 2 alerting triggers.
+
+The engine is deprecated (the SLO burn-rate engine in ``repro.obs`` is
+the canonical alerting path) but stays as the paper's literal trigger
+mechanism, so its behaviour remains covered here.
+"""
+
+import warnings
 
 import pytest
 
@@ -21,7 +28,10 @@ def make_engine(measurements):
     store.load(m.to_record() for m in measurements)
     session = store.session(cluster.clients[0], 0)
     queries = MonitoringQueries(session, interval_s=10)
-    return store, AlertEngine(queries)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        engine = AlertEngine(queries)
+    return store, engine
 
 
 def series(metric, values, start=1000, interval=10):
@@ -61,6 +71,13 @@ class TestTriggerRule:
 
 
 class TestAlertEngine:
+    def test_construction_warns_deprecated(self, metric):
+        cluster = Cluster(CLUSTER_M, 1)
+        store = create_store("redis", cluster)
+        session = store.session(cluster.clients[0], 0)
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            AlertEngine(MonitoringQueries(session, interval_s=10))
+
     def test_fires_on_breach(self, metric):
         store, engine = make_engine(series(metric, [50, 60, 200], 1000))
         engine.add_rule(TriggerRule("conns", (metric,), threshold=100,
@@ -143,7 +160,9 @@ class TestAlertEngine:
         store = create_store("redis", cluster)
         store.load(m.to_record() for m in fleet.stream(1000, 6))
         session = store.session(cluster.clients[0], 0)
-        engine = AlertEngine(MonitoringQueries(session, interval_s=10))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = AlertEngine(MonitoringQueries(session, interval_s=10))
         metrics = tuple(a.metrics[0] for a in fleet.agents)
         engine.add_rule(TriggerRule("fleet-avg", metrics, threshold=0.0,
                                     window_s=60, aggregate="avg"))

@@ -1,0 +1,107 @@
+"""Hypothesis properties of the burn-rate arithmetic.
+
+The invariants the incident reports silently rely on:
+
+* the burn rate is non-negative and bounded by ``1 / (1 - target)``;
+* the remaining error budget is clamped to ``[0, 1]`` — it never goes
+  negative no matter how badly a run burned;
+* the multi-window condition fires exactly when *both* windows are at
+  or over the factor.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import SLO, burn_rate, should_clear, should_fire
+from repro.obs.slo import SLOEngine
+from repro.obs.policy import ObsPolicy
+from repro.sim.kernel import Simulator
+
+counts = st.integers(min_value=0, max_value=10_000)
+targets = st.floats(min_value=0.5, max_value=0.9999)
+burns = st.floats(min_value=0.0, max_value=1e4,
+                  allow_nan=False, allow_infinity=False)
+factors = st.floats(min_value=0.1, max_value=100.0)
+
+
+@given(good=counts, bad=counts, target=targets)
+def test_burn_rate_bounds(good, bad, target):
+    rate = burn_rate(good, bad, target)
+    assert rate >= 0.0
+    # Everything failing burns at exactly the budget reciprocal.
+    assert rate <= 1.0 / (1.0 - target) + 1e-9
+    if good + bad == 0:
+        assert rate == 0.0
+
+
+@given(good=counts, bad=counts, target=targets)
+def test_burn_rate_definition(good, bad, target):
+    if good + bad == 0:
+        return
+    rate = burn_rate(good, bad, target)
+    assert rate * (1.0 - target) - bad / (good + bad) < 1e-9
+
+
+@given(burn_long=burns, burn_short=burns, factor=factors)
+def test_fires_iff_both_windows_exceed(burn_long, burn_short, factor):
+    fired = should_fire(burn_long, burn_short, factor)
+    assert fired == (burn_long >= factor and burn_short >= factor)
+
+
+@given(burn_long=burns, factor=factors,
+       clear_ratio=st.floats(min_value=0.01, max_value=1.0))
+def test_clear_is_stricter_than_not_firing(burn_long, factor, clear_ratio):
+    # Hysteresis: anything clearing would also not (re-)fire the long
+    # window; the band between clear line and factor holds the alert.
+    if should_clear(burn_long, factor, clear_ratio):
+        assert burn_long < factor
+
+
+@given(good=counts, bad=counts, target=targets)
+def test_budget_remaining_never_negative(good, bad, target):
+    slo = SLO(name="s", kind="availability", target=target)
+    engine = SLOEngine(Simulator(), ObsPolicy(slos=(slo,)))
+    for i in range(min(good, 50)):
+        engine.note_op(0.01 * i, "read", 0.0, False)
+    # Account the rest in bulk: totals drive the budget, not the series.
+    engine._totals["s"][0] += max(0, good - 50)
+    engine._totals["s"][1] = bad
+    remaining = engine.budget_remaining(slo)
+    assert 0.0 <= remaining <= 1.0
+    if bad == 0:
+        assert remaining == 1.0
+
+
+@given(bad_long=counts, bad_short=counts, target=targets)
+def test_engine_fires_iff_both_windows_burn(bad_long, bad_short, target):
+    """End-to-end property on the engine's window evaluation.
+
+    ``bad_long`` bad ops land only in the long window's older half,
+    ``bad_short`` in the short window; 100 good ops sit in each region
+    so neither window is ever empty (missing data never fires).
+    """
+    from repro.obs.policy import BurnRateRule
+
+    slo = SLO(name="s", kind="availability", target=target)
+    rule = BurnRateRule(name="r", long_s=2.0, short_s=0.5, factor=4.0)
+    policy = ObsPolicy(slos=(slo,), rules=(rule,), window_s=0.5)
+    engine = SLOEngine(Simulator(), policy)
+    now = 2.0
+    # Older half of the long window: [0, 1.5) -> window indices 0..2.
+    for i in range(bad_long % 200):
+        engine.note_op(0.4, "read", 0.0, True, "store")
+    for _ in range(100):
+        engine.note_op(0.4, "read", 0.0, False)
+    # Short window [1.5, 2.0) -> window index 3.
+    for i in range(bad_short % 200):
+        engine.note_op(1.6, "read", 0.0, True, "store")
+    for _ in range(100):
+        engine.note_op(1.6, "read", 0.0, False)
+    good_l, bad_l = engine.window_counts(slo, 0.0, now)
+    good_s, bad_s = engine.window_counts(slo, now - rule.short_s, now)
+    expect = should_fire(burn_rate(good_l, bad_l, target),
+                         burn_rate(good_s, bad_s, target), rule.factor)
+    engine._evaluate(now)
+    assert engine.is_firing("s", "r") == expect
+    assert len([a for a in engine.alerts if a["kind"] == "fire"]) == (
+        1 if expect else 0)

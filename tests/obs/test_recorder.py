@@ -1,0 +1,82 @@
+"""Unit tests for the flight recorder's ring and dump gating."""
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+from repro.sim.kernel import Simulator
+
+
+def advance(sim, dt):
+    def waiter():
+        yield sim.timeout(dt)
+
+    sim.run(until=sim.process(waiter()))
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(Simulator(), capacity=3)
+        for i in range(10):
+            recorder.record("tick", i=i)
+        assert recorder.recorded == 10
+        assert [e["i"] for e in recorder.entries] == [7, 8, 9]
+
+    def test_entries_carry_simulated_time(self):
+        sim = Simulator()
+        recorder = FlightRecorder(sim)
+        recorder.record("early")
+        advance(sim, 1.5)
+        recorder.record("late")
+        times = [e["t"] for e in recorder.entries]
+        assert times == [0.0, 1.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(Simulator(), capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(Simulator(), max_dumps=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(Simulator(), min_gap_s=-1.0)
+
+
+class TestDumps:
+    def test_dump_snapshots_the_ring(self):
+        recorder = FlightRecorder(Simulator())
+        recorder.record("chaos", action="crash server-0")
+        dump = recorder.dump("node-failure", reason="server-0 down")
+        assert dump is not None
+        assert dump["trigger"] == "node-failure"
+        assert dump["entries"][0]["action"] == "crash server-0"
+        # The snapshot is a copy: later records don't mutate it.
+        recorder.record("chaos", action="restart server-0")
+        assert len(dump["entries"]) == 1
+
+    def test_per_trigger_gap_suppresses_storms(self):
+        sim = Simulator()
+        recorder = FlightRecorder(sim, min_gap_s=0.5)
+        assert recorder.dump("slo-breach") is not None
+        assert recorder.dump("slo-breach") is None  # same instant
+        # A different trigger is unaffected by the breach gap.
+        assert recorder.dump("node-failure") is not None
+        advance(sim, 0.6)
+        assert recorder.dump("slo-breach") is not None
+        assert recorder.suppressed == 1
+
+    def test_max_dumps_cap(self):
+        sim = Simulator()
+        recorder = FlightRecorder(sim, max_dumps=2, min_gap_s=0.0)
+        assert recorder.dump("a") is not None
+        assert recorder.dump("b") is not None
+        assert recorder.dump("c") is None
+        assert recorder.suppressed == 1
+        assert len(recorder.dumps) == 2
+
+    def test_payload_shape(self):
+        recorder = FlightRecorder(Simulator(), capacity=4)
+        recorder.record("op-error", op="read")
+        recorder.dump("slo-breach", reason="burning")
+        payload = recorder.to_payload()
+        assert payload["capacity"] == 4
+        assert payload["recorded"] == 1
+        assert payload["dumps"][0]["reason"] == "burning"
+        assert payload["ring"][0]["kind"] == "op-error"

@@ -1,0 +1,72 @@
+"""The observability overlay on the closed-loop YCSB runner."""
+
+import pytest
+
+from repro.obs import ObsPolicy, default_slos
+from repro.ycsb.runner import BenchmarkConfig, run_benchmark
+from repro.ycsb.workload import WORKLOADS
+
+
+def small_config(**overrides):
+    return dict(records_per_node=1000, measured_ops=400, warmup_ops=50,
+                seed=42, **overrides)
+
+
+@pytest.fixture(scope="module")
+def observed_result():
+    policy = ObsPolicy(slos=default_slos(latency_slo_s=0.05),
+                       window_s=0.05, tick_s=0.05)
+    return run_benchmark("redis", WORKLOADS["R"], 1, obs=policy,
+                         metrics_interval_s=0.05, **small_config())
+
+
+class TestRunnerOverlay:
+    def test_obs_layer_attached_and_closed(self, observed_result):
+        obs = observed_result.obs
+        assert obs is not None
+        # One note_op per recorded (measured-window) operation.
+        assert obs.ops_observed == observed_result.stats.operations
+        assert obs.engine.evaluations > 0
+
+    def test_tail_sampler_replaces_head_tracer(self, observed_result):
+        # A healthy fast run keeps only baseline traces.
+        for trace in observed_result.traces:
+            assert trace.keep_reason is not None
+
+    def test_metrics_report_carries_exemplars(self, observed_result):
+        metrics = observed_result.metrics
+        assert metrics.exemplars is not None
+        assert '# {trace_id="' in metrics.to_prometheus()
+        assert metrics.exemplars_csv().startswith("window_start,")
+        assert metrics.to_payload()["exemplars"]["retained"] > 0
+
+    def test_obs_does_not_change_config_identity(self, observed_result):
+        """Observing a run must not perturb its content key."""
+        bare = BenchmarkConfig(store="redis", workload=WORKLOADS["R"],
+                               n_nodes=1, metrics_interval_s=0.05,
+                               **small_config())
+        assert (observed_result.config.content_key()
+                == bare.content_key())
+
+    def test_measurements_match_unobserved_run(self):
+        """The overlay watches; it must not change what it watches."""
+        policy = ObsPolicy(slos=default_slos(latency_slo_s=0.05))
+        observed = run_benchmark("redis", WORKLOADS["R"], 1, obs=policy,
+                                 **small_config())
+        bare = run_benchmark("redis", WORKLOADS["R"], 1,
+                             **small_config())
+        assert observed.stats.operations == bare.stats.operations
+        assert observed.throughput_ops == bare.throughput_ops
+        assert observed.stats.errors == bare.stats.errors
+
+    def test_trace_sample_every_gates_candidates(self):
+        policy = ObsPolicy(slos=default_slos(latency_slo_s=0.05),
+                           tail_baseline_every=1)
+        result = run_benchmark("redis", WORKLOADS["R"], 1, obs=policy,
+                               trace_sample_every=5, **small_config())
+        tail = result.obs.tracer.stats()
+        # Only every 5th considered op opened a candidate span tree,
+        # so even with baseline_every=1 (keep every healthy candidate)
+        # the kept set stays well under the considered count.
+        assert 0 < tail["kept"] <= tail["candidates"] // 4
+        assert tail["kept"] == len(result.traces)

@@ -1,0 +1,109 @@
+"""Unit tests for tail-based trace sampling."""
+
+import pytest
+
+from repro.obs.tailsample import TailSampler
+from repro.sim.kernel import Simulator
+
+
+def run_ops(sampler, outcomes):
+    """Drive one op per (duration, error, kind) tuple through the sim."""
+    sim = sampler.sim
+
+    def one(duration, error, kind):
+        if not sampler.should_sample():
+            yield sim.timeout(duration)
+            return
+        trace = sampler.begin("read", "key", 0)
+        yield sim.timeout(duration)
+        sampler.complete(trace, error, kind)
+
+    def driver():
+        for outcome in outcomes:
+            yield sim.process(one(*outcome))
+
+    sim.run(until=sim.process(driver()))
+
+
+class TestDecisions:
+    def test_errors_kept_with_kind(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1)
+        run_ops(sampler, [(0.001, True, "deadline"),
+                          (0.001, True, None)])
+        reasons = [t.keep_reason for t in sampler.traces]
+        assert reasons == ["error:deadline", "error:store"]
+        assert sampler.traces[0].error_kind == "deadline"
+
+    def test_slow_successes_kept(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1)
+        run_ops(sampler, [(0.5, False, None)])
+        (trace,) = sampler.traces
+        assert trace.keep_reason == "slow"
+        assert trace.error_kind is None
+        assert trace.latency == pytest.approx(0.5)
+
+    def test_baseline_every_nth_healthy(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1,
+                              baseline_every=3)
+        run_ops(sampler, [(0.001, False, None)] * 7)
+        reasons = [t.keep_reason for t in sampler.traces]
+        assert reasons == ["baseline"] * 3  # healthy ops 1, 4, 7
+        assert sampler.discarded == 4
+
+    def test_baseline_zero_keeps_no_healthy(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1,
+                              baseline_every=0)
+        run_ops(sampler, [(0.001, False, None)] * 5)
+        assert sampler.traces == []
+        assert sampler.discarded == 5
+
+    def test_errors_do_not_consume_the_baseline_counter(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1,
+                              baseline_every=2)
+        run_ops(sampler, [(0.001, False, None),   # healthy 1: baseline
+                          (0.001, True, "store"),  # error (kept)
+                          (0.001, False, None),   # healthy 2: dropped
+                          (0.001, False, None)])  # healthy 3: baseline
+        reasons = [t.keep_reason for t in sampler.traces]
+        assert reasons == ["baseline", "error:store", "baseline"]
+
+
+class TestBudget:
+    def test_keep_budget_is_a_hard_cap(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1,
+                              keep_budget=3)
+        run_ops(sampler, [(0.001, True, "store")] * 5)
+        assert len(sampler.traces) == 3
+        assert sampler.budget_exhausted == 2
+        # First-come-first-kept in simulation order.
+        assert [t.trace_id for t in sampler.traces] == [1, 2, 3]
+
+    def test_candidate_every_gates_instrumentation(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1,
+                              candidate_every=2)
+        run_ops(sampler, [(0.001, True, "store")] * 6)
+        assert len(sampler.traces) == 3  # every other op had no tree
+
+    def test_stats_payload(self):
+        sampler = TailSampler(Simulator(), slow_threshold_s=0.1,
+                              keep_budget=2, baseline_every=1)
+        run_ops(sampler, [(0.001, True, "fault"),
+                          (0.5, False, None),
+                          (0.001, False, None)])
+        stats = sampler.stats()
+        assert stats == {
+            "candidates": 3,
+            "kept": 2,
+            "kept_by_reason": {"error:fault": 1, "slow": 1},
+            "discarded": 1,
+            "budget_exhausted": 1,
+            "keep_budget": 2,
+            "slow_threshold_s": 0.1,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TailSampler(Simulator(), slow_threshold_s=0.0)
+        with pytest.raises(ValueError):
+            TailSampler(Simulator(), slow_threshold_s=0.1,
+                        baseline_every=-1)

@@ -166,3 +166,30 @@ class TestVerifyFigures:
         out = capsys.readouterr().out
         assert "EXPECTATION FAILED" in out
         assert "violation(s)" in out
+
+
+class TestObs:
+    def test_incident_report_with_chaos(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "incident.json"
+        code = main(["obs", "-s", "redis", "-n", "1",
+                     "--records", "500", "--rate", "600",
+                     "--duration", "1.5", "--crash", "server-0",
+                     "--at", "0.5", "--restart-after", "0.5",
+                     "--export", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "INCIDENT REPORT" in text
+        assert "Alerts (" in text
+        assert "Flight recorder:" in text
+        payload = json.loads(out.read_text())
+        assert payload["observability"]["slo"]["alerts"]
+        assert payload["observability"]["flight_recorder"]["dumps"]
+        assert payload["provenance"]["seed"] == 42
+
+    def test_rejects_unknown_crash_target(self, capsys):
+        code = main(["obs", "-s", "redis", "-n", "1",
+                     "--crash", "server-9"])
+        assert code == 2
+        assert "unknown node" in capsys.readouterr().err
