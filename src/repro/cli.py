@@ -13,6 +13,7 @@ Subcommands::
     apmbench control -s redis --rate 1600 --shape diurnal --kill-at 9
     apmbench obs -s redis --rate 1200 --crash server-0 --restart-after 1
     apmbench verify-figures apmbench-results/figures
+    apmbench plan --users 2000000 --slo write:p99:0.05 --dry-run
     apmbench capacity --monitored 240 --throughput-per-node 15000
 
 Everything runs on the simulated substrate; no external services are
@@ -509,6 +510,93 @@ def _cmd_verify_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.orchestrator import ResultStore
+    from repro.orchestrator.plan import SECONDS_PER_UNIT
+    from repro.plan import (HARDWARE_PROFILES, LoadSpec, ValidationSettings,
+                            analytical_frontier, build_report,
+                            estimate_validation_cost, hardware_profile,
+                            parse_slo, validate_frontier)
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r} (have "
+              f"{', '.join(WORKLOADS)})", file=sys.stderr)
+        return 2
+    stores = tuple(s.strip() for s in args.stores.split(","))
+    unknown = [s for s in stores if s not in STORE_NAMES]
+    if unknown:
+        print(f"unknown store(s) {', '.join(unknown)} (have "
+              f"{', '.join(STORE_NAMES)})", file=sys.stderr)
+        return 2
+    try:
+        profiles = tuple(hardware_profile(name.strip())
+                         for name in args.hardware.split(","))
+        slos = tuple(parse_slo(text) for text in (args.slo or []))
+        spec = LoadSpec(
+            users=args.users,
+            users_per_agent=args.users_per_agent,
+            metrics_per_agent=args.metrics_per_agent,
+            flush_interval_s=args.interval,
+            workload=WORKLOADS[args.workload],
+            slos=slos,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    settings = ValidationSettings(
+        records_per_node=args.records,
+        measured_ops=args.ops,
+        warmup_ops=args.warmup,
+    )
+    frontier = analytical_frontier(
+        spec, stores=stores, profiles=profiles,
+        records_per_node=settings.records_per_node,
+        max_nodes=args.max_nodes)
+    if args.dry_run:
+        units = estimate_validation_cost(frontier.entries, spec, settings)
+        print(spec.describe())
+        print(f"candidates: {frontier.examined} examined, "
+              f"{len(frontier.entries)} on the analytical frontier, "
+              f"{len(frontier.infeasible)} (store, hardware) pairs "
+              f"infeasible, {len(frontier.skipped)} stores skipped")
+        print(f"est cost:   {units:,.0f} units "
+              f"(~{units * SECONDS_PER_UNIT:,.1f} s single-threaded, "
+              "rough)")
+        for entry in frontier.entries:
+            modeled = entry.modeled
+            print(f"  [sim ] {entry.candidate.label():30s} "
+                  f"cost={entry.candidate.cost:6.2f}/h "
+                  f"modeled={modeled.ops_per_s:10,.0f} ops/s "
+                  f"({modeled.binding}-bound, "
+                  f"util {entry.utilisation:.0%})")
+        for store_name, hw_name, peak in frontier.infeasible:
+            print(f"  [skip] {store_name}/{hw_name}: peak modeled "
+                  f"{peak:,.0f} ops/s < required "
+                  f"{spec.required_ops_per_s:,.0f}")
+        for store_name, reason in frontier.skipped:
+            print(f"  [skip] {store_name}: {reason}")
+        return 0
+    store = ResultStore(args.store)
+    outcomes = validate_frontier(frontier.entries, spec, settings,
+                                 store=store, jobs=args.jobs,
+                                 progress=_make_progress_printer())
+    report = build_report(spec, settings, frontier, outcomes)
+    print()
+    print(report.render())
+    if args.export:
+        from pathlib import Path
+
+        out = Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_payload(), indent=2,
+                                  sort_keys=True))
+        print(f"\nwrote plan report to {out}")
+    return 0 if report.recommended is not None else 2
+
+
 def _cmd_capacity(args: argparse.Namespace) -> int:
     plan = plan_capacity(
         monitored_nodes=args.monitored,
@@ -884,6 +972,69 @@ def main(argv: list[str] | None = None) -> int:
                                help="comma-separated figure ids, or "
                                     "'all' (default)")
 
+    plan_parser = sub.add_parser(
+        "plan",
+        help="simulation-validated capacity planner: cheapest "
+             "store/hardware/node-count meeting the load and SLOs")
+    plan_parser.add_argument("--users", type=int, default=2_400_000,
+                             help="users the monitored estate serves "
+                                  "(default 2.4M, the paper's Section 8 "
+                                  "scenario)")
+    plan_parser.add_argument("--users-per-agent", type=int, default=10_000,
+                             help="users served per monitored node "
+                                  "(default 10000)")
+    plan_parser.add_argument("--metrics-per-agent", type=int,
+                             default=10_000,
+                             help="measurements each agent flushes per "
+                                  "interval (default 10000)")
+    plan_parser.add_argument("--interval", type=float, default=10.0,
+                             help="agent flush interval in seconds "
+                                  "(default 10)")
+    plan_parser.add_argument("-w", "--workload", default="W",
+                             help="operation mix the tier must serve "
+                                  "(default W, the APM ingest mix)")
+    plan_parser.add_argument("--slo", action="append", metavar="SPEC",
+                             help="latency target as op:percentile:max-"
+                                  "seconds, e.g. read:p99:0.05 "
+                                  "(repeatable)")
+    plan_parser.add_argument("--stores", default=",".join(STORE_NAMES),
+                             help="comma-separated stores to consider "
+                                  "(default: all six)")
+    plan_parser.add_argument("--hardware",
+                             default="paper-m,paper-d,modern-ssd,"
+                                     "modern-nvme",
+                             help="comma-separated hardware profiles "
+                                  "(default: all registered)")
+    plan_parser.add_argument("--max-nodes", type=int, default=None,
+                             help="cap the node count per candidate "
+                                  "(default: each profile's own ceiling)")
+    plan_parser.add_argument("--records", type=int, default=20_000,
+                             help="records per node loaded in validation "
+                                  "runs (default 20000)")
+    plan_parser.add_argument("--ops", type=int, default=4000,
+                             help="measured operations per validation "
+                                  "run (default 4000)")
+    plan_parser.add_argument("--warmup", type=int, default=500,
+                             help="warmup operations per validation run "
+                                  "(default 500)")
+    plan_parser.add_argument("-j", "--jobs", type=int, default=1,
+                             help="parallel validation workers "
+                                  "(default 1; results byte-identical "
+                                  "at any level)")
+    plan_parser.add_argument("--store", default="apmbench-results/store",
+                             metavar="DIR",
+                             help="content-addressed result store for "
+                                  "validation runs (cache hits on "
+                                  "re-plan)")
+    plan_parser.add_argument("--seed", type=int, default=42)
+    plan_parser.add_argument("--dry-run", action="store_true",
+                             help="print the frontier and estimated "
+                                  "simulation cost without running "
+                                  "anything")
+    plan_parser.add_argument("--export", metavar="FILE",
+                             help="write the recommendation report as "
+                                  "stamped JSON (byte-deterministic)")
+
     capacity_parser = sub.add_parser(
         "capacity", help="Section 8 capacity arithmetic")
     capacity_parser.add_argument("--monitored", type=int, default=240)
@@ -905,6 +1056,7 @@ def main(argv: list[str] | None = None) -> int:
         "control": _cmd_control,
         "obs": _cmd_obs,
         "verify-figures": _cmd_verify_figures,
+        "plan": _cmd_plan,
         "capacity": _cmd_capacity,
     }
     return handlers[args.command](args)

@@ -4,16 +4,63 @@ Section 8: "Considering the initial statement that a maximum of 5% of
 the nodes are designated for storing monitoring data, for 12 monitoring
 nodes the number of nodes monitored would be around 240.  If agents on
 each of these report 10 K measurements every 10 seconds, the total
-number of inserts per second is 240 K."  The planner generalises that
-calculation and compares the required rate with a measured (or assumed)
-store throughput.
+number of inserts per second is 240 K."
+
+This module holds the *reusable arithmetic* of that calculation —
+:func:`required_inserts_per_s`, :func:`storage_budget_nodes` and the
+tier-utilisation check — as small pure functions.  The full
+simulation-validated planner (:mod:`repro.plan`) consumes these
+building blocks: it derives the required rate here, models per-store
+per-node throughput analytically (:mod:`repro.plan.model`) and then
+validates the surviving configurations by actually simulating them.
+:func:`plan_capacity` remains the paper's single-tier check, now a thin
+composition of the shared pieces so the Section 8 numbers can never
+drift apart between the arithmetic and the planner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["CapacityPlan", "plan_capacity"]
+__all__ = ["CapacityPlan", "plan_capacity", "required_inserts_per_s",
+           "storage_budget_nodes", "tier_utilisation"]
+
+
+def required_inserts_per_s(monitored_nodes: int, metrics_per_node: int,
+                           interval_s: float) -> float:
+    """Insert rate a monitored estate generates (the paper's 240 K).
+
+    ``monitored_nodes`` agents each flush ``metrics_per_node``
+    measurements every ``interval_s`` seconds::
+
+        required_inserts_per_s(240, 10_000, 10) == 240_000.0
+
+    The same function sizes the load side of :mod:`repro.plan`'s
+    :class:`~repro.plan.spec.LoadSpec`, so the planner and the paper
+    arithmetic share one source of truth.
+    """
+    if monitored_nodes < 0 or metrics_per_node < 0:
+        raise ValueError("counts cannot be negative")
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    return monitored_nodes * metrics_per_node / interval_s
+
+
+def tier_utilisation(required_rate: float, storage_nodes: int,
+                     throughput_per_node: float) -> float:
+    """Fraction of a storage tier's capacity ``required_rate`` consumes.
+
+    ``inf`` when the tier has no capacity at all; values above 1 mean
+    the tier cannot sustain the load.
+    """
+    if storage_nodes < 1:
+        raise ValueError("need at least one storage node")
+    if required_rate < 0:
+        raise ValueError("required rate cannot be negative")
+    total = storage_nodes * throughput_per_node
+    if total <= 0:
+        return 0.0 if required_rate == 0 else float("inf")
+    return required_rate / total
 
 
 @dataclass(frozen=True)
@@ -51,16 +98,15 @@ def plan_capacity(monitored_nodes: int, metrics_per_node: int,
     requires 240 K inserts/s across 12 nodes — "higher than the maximum
     throughput that Cassandra achieves for Workload W on Cluster M but
     not drastically" (Section 8).
+
+    For the search-and-simulate generalisation (store x node-count x
+    hardware-profile, SLO percentiles, simulation-validated frontier)
+    see :func:`repro.plan.run_plan`.
     """
-    if monitored_nodes < 0 or metrics_per_node < 0:
-        raise ValueError("counts cannot be negative")
-    if interval_s <= 0:
-        raise ValueError("interval must be positive")
-    if storage_nodes < 1:
-        raise ValueError("need at least one storage node")
-    required = monitored_nodes * metrics_per_node / interval_s
-    total = storage_nodes * store_throughput_per_node
-    utilisation = required / total if total > 0 else float("inf")
+    required = required_inserts_per_s(monitored_nodes, metrics_per_node,
+                                      interval_s)
+    utilisation = tier_utilisation(required, storage_nodes,
+                                   store_throughput_per_node)
     return CapacityPlan(
         monitored_nodes=monitored_nodes,
         metrics_per_node=metrics_per_node,

@@ -1,0 +1,125 @@
+"""Load specifications: what the cluster must serve.
+
+A :class:`LoadSpec` is the demand side of the planner: a monitored
+estate (users -> agents -> metrics flushed every interval, the paper's
+Section 8 arithmetic via :func:`repro.core.capacity.required_inserts_per_s`),
+an operation mix, and the SLO percentile targets a recommendation must
+meet.  The supply side — what a given store on given hardware can do —
+lives in :mod:`repro.plan.model` (analytically) and
+:mod:`repro.plan.validate` (by simulation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.capacity import required_inserts_per_s
+from repro.ycsb.workload import WORKLOAD_W, Workload
+
+__all__ = ["SLOTarget", "LoadSpec", "parse_slo"]
+
+#: Histograms a target may constrain, by result attribute.
+_SLO_OPS = ("read", "write", "scan")
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One latency objective: ``op`` percentile must not exceed a bound."""
+
+    op: str
+    percentile: float
+    max_latency_s: float
+
+    def __post_init__(self):
+        if self.op not in _SLO_OPS:
+            raise ValueError(
+                f"unknown SLO op {self.op!r}; one of {', '.join(_SLO_OPS)}")
+        if not 0 < self.percentile < 100:
+            raise ValueError(
+                f"percentile must be in (0, 100), got {self.percentile}")
+        if self.max_latency_s <= 0:
+            raise ValueError("max_latency_s must be positive")
+
+    def describe(self) -> str:
+        return (f"{self.op} p{self.percentile:g} "
+                f"<= {self.max_latency_s * 1000:g} ms")
+
+
+def parse_slo(text: str) -> SLOTarget:
+    """Parse ``"read:p99:0.05"`` / ``"write:p95:0.02"`` into a target."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ValueError(
+            f"SLO {text!r} must look like 'read:p99:0.05' "
+            "(op:percentile:max-seconds)")
+    op, pct, bound = parts
+    if not pct.lower().startswith("p"):
+        raise ValueError(f"SLO percentile {pct!r} must start with 'p'")
+    return SLOTarget(op=op.strip().lower(),
+                     percentile=float(pct[1:]),
+                     max_latency_s=float(bound))
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """The demand a recommended cluster must satisfy.
+
+    The agent arithmetic follows the paper: every ``users_per_agent``
+    users are served by one monitored application node whose agent
+    flushes ``metrics_per_agent`` measurements each ``flush_interval_s``
+    (Section 8: 240 agents x 10 K metrics / 10 s = 240 K inserts/s).
+    """
+
+    users: int
+    users_per_agent: int = 10_000
+    metrics_per_agent: int = 10_000
+    flush_interval_s: float = 10.0
+    workload: Workload = field(default_factory=lambda: WORKLOAD_W)
+    slos: tuple[SLOTarget, ...] = ()
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.users < 1:
+            raise ValueError("users must be >= 1")
+        if self.users_per_agent < 1:
+            raise ValueError("users_per_agent must be >= 1")
+        if self.metrics_per_agent < 1:
+            raise ValueError("metrics_per_agent must be >= 1")
+        if self.flush_interval_s <= 0:
+            raise ValueError("flush_interval_s must be positive")
+        if self.workload.write_fraction <= 0:
+            raise ValueError(
+                f"workload {self.workload.name} has no writes; an APM "
+                "ingest tier cannot be sized for a load that inserts "
+                "nothing")
+
+    @property
+    def agents(self) -> int:
+        """Monitored application nodes (one agent each)."""
+        return math.ceil(self.users / self.users_per_agent)
+
+    @property
+    def insert_rate(self) -> float:
+        """Inserts/s the agent fleet generates (Section 8 arithmetic)."""
+        return required_inserts_per_s(self.agents, self.metrics_per_agent,
+                                      self.flush_interval_s)
+
+    @property
+    def required_ops_per_s(self) -> float:
+        """Total operation rate once reads/scans ride along the mix.
+
+        The insert rate is fixed by the estate; the workload mix says
+        how many reads and scans accompany each insert, so the total
+        rate the tier must sustain is ``inserts / write_fraction``.
+        """
+        return self.insert_rate / self.workload.write_fraction
+
+    def describe(self) -> str:
+        slos = ", ".join(t.describe() for t in self.slos) or "none"
+        return (f"{self.users:,} users -> {self.agents} agents x "
+                f"{self.metrics_per_agent:,} metrics / "
+                f"{self.flush_interval_s:g} s = "
+                f"{self.insert_rate:,.0f} inserts/s "
+                f"({self.required_ops_per_s:,.0f} ops/s total on workload "
+                f"{self.workload.name}; SLOs: {slos})")

@@ -5,7 +5,9 @@ import pytest
 from repro.core.capacity import (
     CapacityPlan,
     plan_capacity,
+    required_inserts_per_s,
     storage_budget_nodes,
+    tier_utilisation,
 )
 
 
@@ -19,6 +21,17 @@ class TestPaperExample:
                              interval_s=10, storage_nodes=12,
                              store_throughput_per_node=15_000)
         assert plan.required_inserts_per_s == 240_000
+
+    def test_reusable_arithmetic_pins_the_paper_numbers(self):
+        # The extracted function the planner consumes must agree with
+        # the paper exactly: 240 agents x 10K metrics / 10s = 240K.
+        assert required_inserts_per_s(240, 10_000, 10) == 240_000.0
+        # plan_capacity is a composition of the shared pieces, so the
+        # two can never drift apart.
+        plan = plan_capacity(240, 10_000, 10, 12, 15_000)
+        assert plan.required_inserts_per_s == required_inserts_per_s(
+            240, 10_000, 10)
+        assert plan.utilisation == tier_utilisation(240_000, 12, 15_000)
 
     def test_cassandra_on_cluster_m_falls_slightly_short(self):
         # Workload W at 12 nodes sustains ~180K inserts/s in our
@@ -66,3 +79,30 @@ class TestPlanCapacity:
         assert isinstance(plan, CapacityPlan)
         with pytest.raises(AttributeError):
             plan.storage_nodes = 2
+
+
+class TestReusablePieces:
+    """The building blocks repro.plan consumes directly."""
+
+    def test_required_rate_validation(self):
+        with pytest.raises(ValueError):
+            required_inserts_per_s(-1, 10, 10)
+        with pytest.raises(ValueError):
+            required_inserts_per_s(1, -10, 10)
+        with pytest.raises(ValueError):
+            required_inserts_per_s(1, 10, 0)
+
+    def test_required_rate_scales_linearly(self):
+        base = required_inserts_per_s(100, 1000, 10)
+        assert required_inserts_per_s(200, 1000, 10) == 2 * base
+        assert required_inserts_per_s(100, 2000, 10) == 2 * base
+        assert required_inserts_per_s(100, 1000, 5) == 2 * base
+
+    def test_tier_utilisation(self):
+        assert tier_utilisation(1000, 4, 500) == pytest.approx(0.5)
+        assert tier_utilisation(0, 1, 0) == 0.0
+        assert tier_utilisation(1, 1, 0) == float("inf")
+        with pytest.raises(ValueError):
+            tier_utilisation(100, 0, 500)
+        with pytest.raises(ValueError):
+            tier_utilisation(-1, 1, 500)

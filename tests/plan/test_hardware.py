@@ -1,0 +1,127 @@
+"""Hardware-profile registry: validation and paper fidelity."""
+
+import dataclasses
+
+import pytest
+
+from repro.plan.hardware import (HARDWARE_PROFILES, HardwareProfile,
+                                 hardware_profile)
+from repro.sim.cluster import CLUSTER_D, CLUSTER_M
+from repro.sim.disk import DiskSpec
+from repro.ycsb.runner import BenchmarkConfig
+from repro.ycsb.workload import WORKLOAD_W
+
+
+def _valid_kwargs(**overrides):
+    kwargs = dict(
+        name="test",
+        description="a test node",
+        cores=8,
+        core_speed=1.0,
+        ram_bytes=16 * 2**30,
+        disk=DiskSpec(),
+        cache_fraction=0.7,
+        hourly_cost=1.0,
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestValidation:
+    def test_valid_profile_constructs(self):
+        profile = HardwareProfile(**_valid_kwargs())
+        assert profile.cache_bytes == int(16 * 2**30 * 0.7)
+
+    def test_zero_throughput_disk_with_capacity_rejected(self):
+        dead_disk = DiskSpec(seq_bandwidth_bytes_per_s=0.0,
+                             capacity_bytes=74 * 10**9)
+        with pytest.raises(ValueError, match="zero throughput"):
+            HardwareProfile(**_valid_kwargs(disk=dead_disk))
+
+    @pytest.mark.parametrize("overrides", [
+        {"cores": 0},
+        {"core_speed": 0.0},
+        {"core_speed": -1.0},
+        {"ram_bytes": 0},
+        {"cache_fraction": 0.0},
+        {"cache_fraction": 1.5},
+        {"hourly_cost": 0.0},
+        {"hourly_cost": -2.0},
+        {"connections_per_node": 0},
+        {"max_nodes": 0},
+        {"name": ""},
+    ])
+    def test_inconsistent_scalar_specs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            HardwareProfile(**_valid_kwargs(**overrides))
+
+    @pytest.mark.parametrize("disk", [
+        DiskSpec(seq_bandwidth_bytes_per_s=-1.0),
+        DiskSpec(seek_time_s=-0.001),
+        DiskSpec(rotational_latency_s=-0.001),
+        DiskSpec(capacity_bytes=-1),
+        DiskSpec(queue_depth=0),
+    ])
+    def test_inconsistent_disks_rejected(self, disk):
+        with pytest.raises(ValueError):
+            HardwareProfile(**_valid_kwargs(disk=disk))
+
+    def test_profiles_are_frozen(self):
+        profile = HardwareProfile(**_valid_kwargs())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            profile.hourly_cost = 0.0
+
+
+class TestRegistry:
+    def test_paper_profiles_match_the_papers_clusters(self):
+        m = hardware_profile("paper-m")
+        assert m.node_spec() == CLUSTER_M.node
+        assert m.connections_per_node == CLUSTER_M.connections_per_node
+        assert m.max_nodes == CLUSTER_M.max_nodes
+        d = hardware_profile("paper-d")
+        assert d.node_spec() == CLUSTER_D.node
+        assert d.connections_per_node == CLUSTER_D.connections_per_node
+        assert d.max_nodes == CLUSTER_D.max_nodes
+
+    def test_cost_anchor_and_ordering(self):
+        # Cluster M nodes anchor the unit; the older Cluster D nodes are
+        # cheaper, modern nodes dearer.
+        assert hardware_profile("paper-m").hourly_cost == 1.0
+        assert hardware_profile("paper-d").hourly_cost < 1.0
+        assert hardware_profile("modern-ssd").hourly_cost > 1.0
+        assert hardware_profile("modern-nvme").hourly_cost > \
+            hardware_profile("modern-ssd").hourly_cost
+
+    def test_at_least_two_modern_profiles(self):
+        modern = [name for name in HARDWARE_PROFILES
+                  if not name.startswith("paper-")]
+        assert len(modern) >= 2
+
+    def test_every_registered_profile_is_self_consistent(self):
+        for name, profile in HARDWARE_PROFILES.items():
+            assert profile.name == name
+            assert profile.cost(3) == pytest.approx(3 * profile.hourly_cost)
+
+    def test_unknown_profile_message_lists_known(self):
+        with pytest.raises(ValueError, match="paper-m"):
+            hardware_profile("quantum-node")
+
+
+class TestClusterSpec:
+    def test_cluster_spec_names_disambiguate_profiles(self):
+        names = {profile.cluster_spec().name
+                 for profile in HARDWARE_PROFILES.values()}
+        assert len(names) == len(HARDWARE_PROFILES)
+
+    def test_configs_on_profile_clusters_stay_portable(self):
+        # Validation configs must cross process boundaries and live in
+        # the content-addressed store; the profile's ClusterSpec must
+        # survive the dict round trip exactly.
+        for profile in HARDWARE_PROFILES.values():
+            config = BenchmarkConfig(
+                store="cassandra", workload=WORKLOAD_W, n_nodes=1,
+                cluster_spec=profile.cluster_spec())
+            assert config.is_portable
+            rebuilt = BenchmarkConfig.from_dict(config.to_dict())
+            assert rebuilt.content_hash() == config.content_hash()
+            assert rebuilt.cluster_spec == config.cluster_spec

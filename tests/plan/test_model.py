@@ -1,0 +1,103 @@
+"""Unit behaviour of the analytical model and the frontier search."""
+
+import pytest
+
+from repro.plan.hardware import hardware_profile
+from repro.plan.model import modeled_capacity, write_architecture
+from repro.plan.search import analytical_frontier
+from repro.plan.spec import LoadSpec
+from repro.ycsb.runner import PAPER_RECORDS_PER_NODE
+from repro.ycsb.workload import WORKLOAD_R, WORKLOAD_RS, WORKLOAD_W
+
+
+class TestWriteArchitecture:
+    def test_families(self):
+        assert write_architecture("cassandra") == "lsm"
+        assert write_architecture("hbase") == "lsm"
+        assert write_architecture("voldemort") == "btree-log"
+        assert write_architecture("mysql") == "btree"
+        # In-memory stores are detected from the store class itself.
+        assert write_architecture("redis") == "memory"
+        assert write_architecture("voltdb") == "memory"
+
+
+class TestModel:
+    def test_grounded_in_the_stores_own_cpu_constants(self):
+        # One Cluster-M node on pure ingest: 8 reference cores against
+        # Cassandra's 240us writes plus the per-connection inflation the
+        # simulation charges (128 connections x 6e-4).
+        capacity = modeled_capacity(
+            "cassandra", hardware_profile("paper-m"), 1, WORKLOAD_W,
+            records_per_node=20_000)
+        write_cpu = 0.99 * 240e-6 + 0.01 * 290e-6
+        expected = 8 * 1.0 / (write_cpu * (1 + 6e-4 * 128))
+        assert capacity.cpu_ops_per_node == pytest.approx(expected)
+        assert capacity.binding == "cpu"
+
+    def test_big_data_on_cluster_d_reads_are_disk_bound(self):
+        # At 4x the paper's records/node the Cluster D node's 1 GiB
+        # cache holds only a fraction of the data; the read-heavy mix
+        # is then bound by random IOs, not CPU.
+        records = 4 * PAPER_RECORDS_PER_NODE
+        capacity = modeled_capacity(
+            "cassandra", hardware_profile("paper-d"), 1, WORKLOAD_R,
+            records_per_node=records, paper_records_per_node=records)
+        assert capacity.miss_ratio > 0.5
+        assert capacity.binding == "disk"
+        assert capacity.disk_ops_per_node < capacity.cpu_ops_per_node
+
+    def test_memory_store_cannot_hold_more_than_ram(self):
+        # ~47 GB of records per node on a 16 GiB in-memory node: no
+        # node count fixes a per-node overcommit (the paper's Redis
+        # runs died of exactly this).
+        oversized = modeled_capacity(
+            "redis", hardware_profile("paper-m"), 4, WORKLOAD_W,
+            records_per_node=PAPER_RECORDS_PER_NODE * 25,
+            paper_records_per_node=PAPER_RECORDS_PER_NODE * 25)
+        assert oversized.ops_per_s == 0.0
+        assert oversized.binding == "memory"
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            modeled_capacity("redis", hardware_profile("paper-m"), 0,
+                             WORKLOAD_W, records_per_node=1000)
+
+
+class TestFrontier:
+    def test_scan_workloads_skip_scanless_stores(self):
+        spec = LoadSpec(users=10_000, workload=WORKLOAD_RS)
+        frontier = analytical_frontier(
+            spec, stores=("voldemort", "cassandra"),
+            profiles=(hardware_profile("paper-m"),))
+        assert ("voldemort",
+                "does not support scans (workload RS)") in frontier.skipped
+        stores = {e.candidate.store for e in frontier.entries}
+        assert stores == {"cassandra"}
+
+    def test_impossible_demand_is_reported_infeasible(self):
+        spec = LoadSpec(users=3_000_000_000)  # 300M inserts/s
+        frontier = analytical_frontier(
+            spec, stores=("cassandra",),
+            profiles=(hardware_profile("paper-m"),), max_nodes=4)
+        assert not frontier.entries
+        assert len(frontier.infeasible) == 1
+        store, hardware, peak = frontier.infeasible[0]
+        assert (store, hardware) == ("cassandra", "paper-m")
+        assert 0 < peak < spec.required_ops_per_s
+
+    def test_max_nodes_caps_the_search(self):
+        spec = LoadSpec(users=2_400_000)
+        unbounded = analytical_frontier(
+            spec, stores=("cassandra",),
+            profiles=(hardware_profile("modern-nvme"),))
+        capped = analytical_frontier(
+            spec, stores=("cassandra",),
+            profiles=(hardware_profile("modern-nvme"),), max_nodes=1)
+        assert unbounded.examined >= capped.examined
+        for entry in capped.entries:
+            assert entry.candidate.n_nodes <= 1
+
+    def test_unknown_store_raises(self):
+        spec = LoadSpec(users=10_000)
+        with pytest.raises(ValueError, match="unknown store"):
+            analytical_frontier(spec, stores=("bigtable",))

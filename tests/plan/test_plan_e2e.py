@@ -1,0 +1,183 @@
+"""End-to-end planner runs: simulation earning its keep.
+
+The scenario is calibrated so the analytical model and the simulation
+*disagree*: at 200 K users on workload W, one VoltDB node on the
+paper-d profile is analytically feasible (modeled ~26.7 K ops/s against
+a required ~20.2 K) and the cheapest candidate — but the simulation
+sustains only ~16.9 K ops/s there, so validation rejects it and the
+recommendation moves to the paper-m node.  A planner that trusted the
+model would have shipped an under-provisioned cluster.
+"""
+
+import json
+
+import pytest
+
+from repro.orchestrator.store import ResultStore
+from repro.plan import (LoadSpec, ValidationSettings, analytical_frontier,
+                        build_report, hardware_profile, parse_slo,
+                        run_plan, validate_frontier, validation_config)
+from repro.ycsb.workload import WORKLOADS
+
+PROFILES = ("paper-m", "paper-d")
+STORES = ("voltdb",)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return LoadSpec(users=200_000, workload=WORKLOADS["W"])
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ValidationSettings()
+
+
+@pytest.fixture(scope="module")
+def result_store(tmp_path_factory):
+    return ResultStore(tmp_path_factory.mktemp("plan-store"))
+
+
+@pytest.fixture(scope="module")
+def report(spec, settings, result_store):
+    return run_plan(
+        spec,
+        stores=STORES,
+        profiles=tuple(hardware_profile(name) for name in PROFILES),
+        settings=settings,
+        store=result_store,
+        jobs=1,
+    )
+
+
+class TestModelVsSimulationDivergence:
+    def test_analytical_model_alone_would_pick_the_rejected_config(
+            self, report):
+        # The model's cheapest candidate is the paper-d node...
+        analytical = report.frontier.entries[0]
+        assert analytical.candidate.hardware.name == "paper-d"
+        assert analytical.modeled.ops_per_s >= report.spec.required_ops_per_s
+        # ...but its simulated throughput falls short, so it fails.
+        rejected = report.outcomes[0]
+        assert rejected.entry is analytical
+        assert not rejected.throughput_ok
+        assert rejected.simulated_ops_per_s < report.spec.required_ops_per_s
+
+    def test_recommendation_moves_to_the_validated_config(self, report):
+        assert report.recommended is not None
+        recommended = report.recommended.entry.candidate
+        assert recommended.hardware.name == "paper-m"
+        assert report.recommended.passed
+        # And it costs more than the model's (wrong) favourite.
+        assert recommended.cost > report.frontier.entries[0].candidate.cost
+
+    def test_disagreement_is_reported(self, report):
+        assert len(report.disagreements) == 1
+        disagreement = report.disagreements[0]
+        assert disagreement["store"] == "voltdb"
+        assert "paper-d" in disagreement["analytical"]
+        assert "paper-m" in disagreement["validated"]
+        assert "<" in disagreement["reason"] or "breached" in \
+            disagreement["reason"]
+
+    def test_render_surfaces_the_disagreement(self, report):
+        text = report.render()
+        assert "RECOMMENDATION" in text
+        assert "analytical model alone would pick" in text
+        assert "FAIL" in text and "PASS" in text
+
+
+class TestOrchestratorIntegration:
+    def test_validations_went_through_the_result_store(
+            self, report, result_store, spec, settings):
+        for outcome in report.outcomes:
+            assert result_store.contains(outcome.config)
+        # First run executed for real (nothing was pre-cached).
+        assert not any(outcome.cached for outcome in report.outcomes)
+
+    def test_replanning_hits_the_cache(self, report, spec, settings,
+                                       result_store):
+        frontier = analytical_frontier(
+            spec, stores=STORES,
+            profiles=tuple(hardware_profile(name) for name in PROFILES),
+            records_per_node=settings.records_per_node)
+        outcomes = validate_frontier(frontier.entries, spec, settings,
+                                     store=result_store, jobs=1)
+        assert all(outcome.cached for outcome in outcomes)
+        rerun = build_report(spec, settings, frontier, outcomes)
+        assert [o.simulated_ops_per_s for o in rerun.outcomes] == \
+            [o.simulated_ops_per_s for o in report.outcomes]
+
+    def test_validation_configs_are_portable_and_seeded_apart(
+            self, report, spec, settings):
+        hashes = set()
+        seeds = set()
+        for entry in report.frontier.entries:
+            config = validation_config(entry, spec, settings)
+            assert config.is_portable
+            hashes.add(config.content_hash())
+            seeds.add(config.seed)
+        assert len(hashes) == len(report.frontier.entries)
+        assert len(seeds) == len(report.frontier.entries)
+
+
+class TestDeterminism:
+    def test_export_is_byte_identical_on_rerun(self, report, spec,
+                                               settings, result_store):
+        rerun = run_plan(
+            spec, stores=STORES,
+            profiles=tuple(hardware_profile(name) for name in PROFILES),
+            settings=settings, store=result_store, jobs=2)
+        first = json.dumps(report.to_payload(), sort_keys=True, indent=2)
+        second = json.dumps(rerun.to_payload(), sort_keys=True, indent=2)
+        assert first == second
+
+    def test_payload_is_provenance_stamped_without_wall_clock(
+            self, report):
+        payload = report.to_payload()
+        stamp = payload["provenance"]
+        assert set(stamp) == {"package_version", "config_hash", "seed"}
+        assert stamp["seed"] == report.spec.seed
+        text = json.dumps(payload, sort_keys=True)
+        assert "timestamp" not in text
+
+
+class TestSLOChecks:
+    def test_slo_breach_rejects_a_throughput_feasible_config(
+            self, report, spec, settings, result_store):
+        # An absurdly tight write SLO: even the config that sustains the
+        # rate cannot acknowledge writes in 10 microseconds.
+        tight = LoadSpec(users=spec.users, workload=spec.workload,
+                         slos=(parse_slo("write:p50:0.00001"),),
+                         seed=spec.seed)
+        report = run_plan(
+            tight, stores=STORES,
+            profiles=(hardware_profile("paper-m"),),
+            settings=settings, store=result_store, jobs=1)
+        # Same simulation result (the SLO is not part of the config
+        # identity), so this is a pure cache replay...
+        assert all(outcome.cached for outcome in report.outcomes)
+        outcome = report.outcomes[0]
+        # ...that now fails: throughput fine, latency target breached.
+        assert outcome.throughput_ok
+        assert not outcome.passed
+        assert report.recommended is None
+        checks = {c.target.op: c for c in outcome.slo_checks}
+        assert not checks["write"].passed
+        assert checks["write"].observed_s > 0.00001
+
+    def test_unexercised_op_is_vacuously_noted(self, report, spec,
+                                               settings, result_store):
+        # Workload W has no scans; a scan SLO cannot be measured and
+        # says so instead of silently passing as a measurement.
+        scanful = LoadSpec(users=spec.users, workload=spec.workload,
+                           slos=(parse_slo("scan:p99:1.0"),),
+                           seed=spec.seed)
+        report = run_plan(
+            scanful, stores=STORES,
+            profiles=(hardware_profile("paper-m"),),
+            settings=settings, store=result_store, jobs=1)
+        check = report.outcomes[0].slo_checks[0]
+        assert check.passed
+        assert check.observed_s is None
+        assert "no scan operations" in check.note

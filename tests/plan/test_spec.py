@@ -1,0 +1,79 @@
+"""LoadSpec demand arithmetic and SLO parsing."""
+
+import pytest
+
+from repro.core.capacity import required_inserts_per_s
+from repro.plan.spec import LoadSpec, SLOTarget, parse_slo
+from repro.ycsb.workload import WORKLOAD_R, WORKLOAD_W, Workload
+
+
+class TestPaperScenario:
+    def test_2_4m_users_is_the_section_8_estate(self):
+        # 2.4M users / 10K per agent = 240 agents; 10K metrics / 10s
+        # each = the paper's 240K inserts/s.
+        spec = LoadSpec(users=2_400_000)
+        assert spec.agents == 240
+        assert spec.insert_rate == 240_000.0
+        assert spec.insert_rate == required_inserts_per_s(240, 10_000, 10)
+
+    def test_agents_round_up(self):
+        assert LoadSpec(users=2_400_001).agents == 241
+        assert LoadSpec(users=1).agents == 1
+
+    def test_required_ops_carries_the_read_mix(self):
+        # On workload R the 5% inserts anchor the rate: the tier also
+        # serves 19 reads per insert.
+        spec = LoadSpec(users=100_000, workload=WORKLOAD_R)
+        assert spec.required_ops_per_s == pytest.approx(
+            spec.insert_rate / 0.05)
+
+    def test_pure_ingest_mix(self):
+        spec = LoadSpec(users=100_000, workload=WORKLOAD_W)
+        assert spec.required_ops_per_s == pytest.approx(
+            spec.insert_rate / 0.99)
+
+
+class TestValidation:
+    def test_read_only_workload_rejected(self):
+        read_only = Workload("RO", read_proportion=1.0)
+        with pytest.raises(ValueError, match="no writes"):
+            LoadSpec(users=1000, workload=read_only)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"users": 0},
+        {"users_per_agent": 0},
+        {"metrics_per_agent": 0},
+        {"flush_interval_s": 0.0},
+    ])
+    def test_bad_scalars_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadSpec(**{"users": 1000, **kwargs})
+
+    def test_describe_mentions_the_rate(self):
+        text = LoadSpec(users=2_400_000).describe()
+        assert "240 agents" in text
+        assert "240,000 inserts/s" in text
+
+
+class TestSLO:
+    def test_parse_round_trip(self):
+        target = parse_slo("read:p99:0.05")
+        assert target == SLOTarget(op="read", percentile=99.0,
+                                   max_latency_s=0.05)
+        assert parse_slo("write:p95:0.02").max_latency_s == 0.02
+        assert parse_slo("scan:p50:1.5").percentile == 50.0
+
+    @pytest.mark.parametrize("text", [
+        "read:99:0.05",        # missing the 'p'
+        "read:p99",            # missing the bound
+        "insert:p99:0.05",     # unknown op
+        "read:p0:0.05",        # percentile out of range
+        "read:p100:0.05",
+        "read:p99:0",          # non-positive bound
+    ])
+    def test_bad_slos_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_slo(text)
+
+    def test_describe(self):
+        assert parse_slo("read:p99:0.05").describe() == "read p99 <= 50 ms"

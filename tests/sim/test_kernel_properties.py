@@ -45,8 +45,13 @@ def _execute(scheduler_cls, plan):
     cancelled = []
 
     def watch(tag, event):
+        # Log the *exact* float instant: the (time, sequence) contract
+        # holds per exact time value, and rounding here once collapsed
+        # two distinct instants (0.0055 vs 0.002 + 0.0035) into a fake
+        # "simultaneous" pair whose sequence order the test then
+        # wrongly constrained.
         event.callbacks.append(
-            lambda e, t=tag: fired.append((round(sim.now, 12), e._qseq, t)))
+            lambda e, t=tag: fired.append((sim.now, e._qseq, t)))
 
     def worker(windex, ops):
         for opindex, (delay_index, kind) in enumerate(ops):

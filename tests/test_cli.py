@@ -83,6 +83,56 @@ class TestCapacity:
         assert "sustainable" in capsys.readouterr().out
 
 
+class TestPlan:
+    def test_dry_run_prints_candidates_without_simulating(self, capsys):
+        code = main(["plan", "--users", "200000",
+                     "--stores", "voltdb,redis",
+                     "--hardware", "paper-m,paper-d", "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidates:" in out
+        assert "examined" in out
+        assert "est cost:" in out
+        assert "[sim ]" in out
+        # Dry run never simulates, so there is nothing to recommend.
+        assert "RECOMMENDATION" not in out
+
+    def test_unknown_store_is_a_usage_error(self, capsys):
+        code = main(["plan", "--stores", "mongodb", "--dry-run"])
+        assert code == 2
+        assert "unknown store" in capsys.readouterr().err
+
+    def test_unknown_hardware_is_a_usage_error(self, capsys):
+        code = main(["plan", "--hardware", "abacus", "--dry-run"])
+        assert code == 2
+        assert "abacus" in capsys.readouterr().err
+
+    def test_bad_slo_is_a_usage_error(self, capsys):
+        code = main(["plan", "--slo", "read:99:0.05", "--dry-run"])
+        assert code == 2
+        assert "SLO" in capsys.readouterr().err
+
+    def test_plan_run_exports_deterministically(self, tmp_path, capsys):
+        import json
+
+        args = ["plan", "--users", "50000", "--stores", "redis",
+                "--hardware", "paper-m", "--records", "2000",
+                "--ops", "1000", "--warmup", "100",
+                "--store", str(tmp_path / "results")]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(args + ["--export", str(first)]) == 0
+        out = capsys.readouterr().out
+        assert "RECOMMENDATION" in out
+        assert "redis" in out
+        # Second run replays from the result store, byte-identically.
+        assert main(args + ["--export", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert payload["recommended"]["store"] == "redis"
+        assert payload["provenance"]["seed"] == 42
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
