@@ -497,6 +497,58 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.audit import (AuditScenario, QuorumSweep, render_sweep,
+                             run_audit_scenario, run_quorum_sweep,
+                             sweep_to_json)
+
+    replication = args.replication_factor
+    if replication is None:
+        replication = 3 if args.sweep else 1
+    fault = args.fault
+    if fault is None:
+        fault = "partition" if args.sweep else "crash"
+
+    if args.sweep:
+        points = []
+        for token in args.points.split(","):
+            r_txt, __, w_txt = token.strip().partition("/")
+            points.append((int(r_txt), int(w_txt)))
+        sweep = QuorumSweep(
+            store=args.store, n_nodes=args.nodes,
+            replication_factor=replication,
+            points=tuple(points), fault=fault, seed=args.seed,
+            n_sessions=args.sessions, n_keys=args.keys,
+            ops_per_session=args.ops,
+        )
+        payload = run_quorum_sweep(sweep, jobs=args.jobs)
+        print(render_sweep(payload))
+        if args.export:
+            out = Path(args.export)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(sweep_to_json(payload) + "\n")
+            print(f"\nwrote sweep report to {out}")
+        return 0 if payload["ok"] else 1
+
+    scenario = AuditScenario(
+        store=args.store, n_nodes=args.nodes, n_sessions=args.sessions,
+        n_keys=args.keys, ops_per_session=args.ops, seed=args.seed,
+        fault=fault,
+        replication_factor=replication,
+        required_writes=args.write_acks, required_reads=args.read_acks,
+    )
+    report = run_audit_scenario(scenario)
+    print(report.render())
+    if args.export:
+        out = Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n")
+        print(f"\nwrote audit report to {out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_verify_figures(args: argparse.Namespace) -> int:
     from repro.orchestrator import verify_figures
 
@@ -961,6 +1013,48 @@ def main(argv: list[str] | None = None) -> int:
                             help="write the full incident report as "
                                  "stamped JSON (byte-deterministic)")
 
+    audit_parser = sub.add_parser(
+        "audit",
+        help="chaos audit: run a workload under faults and check "
+             "durability, session guarantees, linearizability and "
+             "staleness from the recorded history")
+    audit_parser.add_argument("-s", "--store", choices=STORE_NAMES,
+                              default="cassandra")
+    audit_parser.add_argument("-n", "--nodes", type=int, default=3)
+    audit_parser.add_argument("--fault", default=None,
+                              help="standard chaos schedule: none, crash, "
+                                   "crash_hard, crash_late, partition, "
+                                   "slow_disk, flaky_nic, zombie, combo "
+                                   "(default crash, or partition with "
+                                   "--sweep)")
+    audit_parser.add_argument("--sessions", type=int, default=4,
+                              help="closed-loop client sessions (default 4)")
+    audit_parser.add_argument("--keys", type=int, default=12,
+                              help="distinct keys in the workload "
+                                   "(default 12)")
+    audit_parser.add_argument("--ops", type=int, default=80,
+                              help="paced ops per session (default 80)")
+    audit_parser.add_argument("--seed", type=int, default=42)
+    audit_parser.add_argument("-N", "--replication-factor", type=int,
+                              default=None,
+                              help="replicas per key (cassandra/voldemort; "
+                                   "default 1, or 3 with --sweep)")
+    audit_parser.add_argument("-W", "--write-acks", type=int, default=1,
+                              help="write acks required (default 1)")
+    audit_parser.add_argument("-R", "--read-acks", type=int, default=1,
+                              help="read responses required (default 1)")
+    audit_parser.add_argument("--sweep", action="store_true",
+                              help="run the quorum R/W sweep instead of a "
+                                   "single audit")
+    audit_parser.add_argument("--points", default="1/1,2/2",
+                              metavar="R/W[,R/W...]",
+                              help="sweep grid points (default 1/1,2/2)")
+    audit_parser.add_argument("-j", "--jobs", type=int, default=1,
+                              help="parallel sweep points (default 1)")
+    audit_parser.add_argument("--export", metavar="FILE",
+                              help="write the report as stamped JSON "
+                                   "(byte-deterministic)")
+
     verify_parser = sub.add_parser(
         "verify-figures",
         help="check exported figure JSON against the paper's "
@@ -1055,6 +1149,7 @@ def main(argv: list[str] | None = None) -> int:
         "overload": _cmd_overload,
         "control": _cmd_control,
         "obs": _cmd_obs,
+        "audit": _cmd_audit,
         "verify-figures": _cmd_verify_figures,
         "plan": _cmd_plan,
         "capacity": _cmd_capacity,

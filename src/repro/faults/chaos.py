@@ -4,10 +4,19 @@ The controller is itself a simulation process.  At each scheduled fault
 time it drives the node lifecycle — :meth:`~repro.sim.cluster.Node.fail`
 drains the node's resource queues and drops it off the network,
 :meth:`~repro.sim.cluster.Node.recover` brings it back with cold caches —
-and applies partition filters / disk degradations at the network and
-disk layers.  Deployed stores subscribe as listeners so they can react
-the way their real counterparts do (Cassandra replays hinted handoffs,
-the HBase master reassigns regions).
+and applies partition filters / disk degradations / gray failures at the
+network, disk and CPU layers.  Deployed stores subscribe as listeners so
+they can react the way their real counterparts do (Cassandra replays
+hinted handoffs, the HBase master reassigns regions).
+
+The controller also emits the **declared-loss manifest** the audit layer
+reconciles durability against: when a crash is scheduled with no later
+restart, every subscribed store is asked (via
+:meth:`~repro.stores.base.Store.declared_loss`) whether losing that node
+loses single-copy data *by design* — a client-sharded Redis/MySQL shard,
+an RF=1 token range.  Acked writes that become unreadable for a
+manifest-declared reason are reported as declared losses, not
+durability violations; everything else is a violation.
 """
 
 from __future__ import annotations
@@ -27,18 +36,35 @@ class ChaosController:
     def __init__(self, cluster: Cluster, schedule: FaultSchedule):
         self.cluster = cluster
         self.schedule = schedule
+        # Build-time validation: a schedule naming unknown nodes or
+        # healing a partition that never happened fails here, not
+        # mid-run (clients are valid chaos targets too).
+        schedule.validate([node.name for node in
+                           cluster.servers + cluster.clients])
         self._listeners: list[object] = []
         #: Applied actions as ``(sim_time, description)`` pairs.
         self.log: list[tuple[float, str]] = []
         #: Optional :class:`~repro.obs.recorder.FlightRecorder`: every
         #: applied action lands in the observability ring too.
         self.recorder = None
+        #: Declared-loss manifest: dict entries for data the schedule
+        #: loses *by design* (crash with no scheduled restart on a
+        #: store holding single-copy state for that node).
+        self.loss_manifest: list[dict] = []
+        #: Node names crashed by this schedule and never restarted.
+        self._never_restarted = {
+            node for node in {a.target for a in schedule.actions()
+                              if a.kind is FaultKind.CRASH}
+            if any(end == float("inf")
+                   for __, end in schedule.outage_windows(node))
+        }
 
     def subscribe(self, listener: object) -> None:
         """Register a listener with ``on_node_down`` / ``on_node_up`` hooks.
 
         Both hooks are optional; stores use them for failure *handling*
-        (hinted-handoff replay, region reassignment).
+        (hinted-handoff replay, region reassignment).  Listeners with a
+        ``declared_loss`` hook also contribute to the loss manifest.
         """
         self._listeners.append(listener)
 
@@ -64,6 +90,23 @@ class ChaosController:
             if method is not None:
                 method(node)
 
+    def _declare_losses(self, node: Node) -> None:
+        """Record by-design data losses for a permanently crashed node."""
+        if node not in self.cluster.servers:
+            return  # a crashed client loses no server-side data
+        for listener in self._listeners:
+            probe = getattr(listener, "declared_loss", None)
+            if probe is None:
+                continue
+            reason = probe(node)
+            if reason:
+                self.loss_manifest.append({
+                    "t": self.cluster.sim.now,
+                    "node": node.name,
+                    "store": getattr(listener, "name", type(listener).__name__),
+                    "reason": reason,
+                })
+
     def _apply(self, action: FaultAction) -> None:
         cluster = self.cluster
         # Recorded before the effect lands: a listener-triggered dump
@@ -73,6 +116,8 @@ class ChaosController:
         if action.kind is FaultKind.CRASH:
             node = cluster.node(action.target)
             node.fail()
+            if action.target in self._never_restarted:
+                self._declare_losses(node)
             self._notify("on_node_down", node)
         elif action.kind is FaultKind.RESTART:
             node = cluster.node(action.target)
@@ -86,6 +131,17 @@ class ChaosController:
             cluster.node(action.target).disk.degrade(action.factor)
         elif action.kind is FaultKind.RESTORE_DISK:
             cluster.node(action.target).disk.restore()
+        elif action.kind is FaultKind.FLAKY_NIC:
+            cluster.network.degrade_link(action.target, loss=action.loss,
+                                         jitter_s=action.jitter_s)
+        elif action.kind is FaultKind.RESTORE_NIC:
+            cluster.network.restore_link(action.target)
+        elif action.kind is FaultKind.ZOMBIE:
+            # Deliberately no on_node_down: a zombie is the failure
+            # liveness detection cannot see.
+            cluster.node(action.target).zombie(action.factor)
+        elif action.kind is FaultKind.UNZOMBIE:
+            cluster.node(action.target).unzombie()
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown fault kind {action.kind!r}")
         self.log.append((cluster.sim.now, action.describe()))

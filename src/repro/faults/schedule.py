@@ -36,6 +36,21 @@ class FaultKind(enum.Enum):
     HEAL = "heal"
     SLOW_DISK = "slow_disk"
     RESTORE_DISK = "restore_disk"
+    #: Gray failure: the node's NIC drops packets / adds latency jitter.
+    FLAKY_NIC = "flaky_nic"
+    RESTORE_NIC = "restore_nic"
+    #: Gray failure: the node is alive but pathologically slow —
+    #: invisible to crash-liveness detection (``Node.up`` stays True).
+    ZOMBIE = "zombie"
+    UNZOMBIE = "unzombie"
+
+
+#: Kinds that require a node name in :attr:`FaultAction.target`.
+_NODE_SCOPED = frozenset({
+    FaultKind.CRASH, FaultKind.RESTART, FaultKind.SLOW_DISK,
+    FaultKind.RESTORE_DISK, FaultKind.FLAKY_NIC, FaultKind.RESTORE_NIC,
+    FaultKind.ZOMBIE, FaultKind.UNZOMBIE,
+})
 
 
 @dataclass(frozen=True)
@@ -44,12 +59,43 @@ class FaultAction:
 
     at: float
     kind: FaultKind
-    #: Node name for node-scoped faults (crash/restart/slow-disk).
+    #: Node name for node-scoped faults (crash/restart/slow-disk/zombie).
     target: Optional[str] = None
     #: Partition groups for PARTITION actions.
     groups: tuple[tuple[str, ...], ...] = ()
-    #: Disk service-time multiplier for SLOW_DISK actions.
+    #: Disk service-time multiplier for SLOW_DISK actions, or the
+    #: whole-node slowdown for ZOMBIE actions.
     factor: float = 1.0
+    #: Packet-loss probability for FLAKY_NIC actions.
+    loss: float = 0.0
+    #: Added latency jitter bound (seconds) for FLAKY_NIC actions.
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Constructed actions are validated here so a malformed fault
+        # fails when the schedule is built, not minutes into a run.
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind in _NODE_SCOPED and not self.target:
+            raise ValueError(f"{self.kind.value} needs a target node")
+        if self.kind is FaultKind.SLOW_DISK and self.factor < 1.0:
+            # Covers the factor <= 0 class too: Disk.degrade requires
+            # >= 1.0, so anything smaller would fail mid-run.
+            raise ValueError(
+                f"slow-disk factor must be >= 1.0, got {self.factor}")
+        if self.kind is FaultKind.ZOMBIE and self.factor <= 1.0:
+            raise ValueError(
+                f"zombie slowdown must be > 1.0, got {self.factor}")
+        if self.kind is FaultKind.FLAKY_NIC:
+            if not 0.0 <= self.loss < 1.0:
+                raise ValueError(
+                    f"packet-loss probability must be in [0, 1), "
+                    f"got {self.loss}")
+            if self.jitter_s < 0:
+                raise ValueError(
+                    f"jitter_s must be >= 0, got {self.jitter_s}")
+            if self.loss == 0.0 and self.jitter_s == 0.0:
+                raise ValueError("a flaky NIC needs loss > 0 or jitter > 0")
 
     def describe(self) -> str:
         """A one-line human-readable rendering (chaos log, CLI)."""
@@ -62,6 +108,15 @@ class FaultAction:
             return f"slow disk {self.target} x{self.factor:g}"
         if self.kind is FaultKind.RESTORE_DISK:
             return f"restore disk {self.target}"
+        if self.kind is FaultKind.FLAKY_NIC:
+            return (f"flaky nic {self.target} "
+                    f"loss={self.loss:.1%} jitter={self.jitter_s * 1e3:g}ms")
+        if self.kind is FaultKind.RESTORE_NIC:
+            return f"restore nic {self.target}"
+        if self.kind is FaultKind.ZOMBIE:
+            return f"zombie {self.target} x{self.factor:g}"
+        if self.kind is FaultKind.UNZOMBIE:
+            return f"unzombie {self.target}"
         return f"{self.kind.value} {self.target}"
 
 
@@ -120,6 +175,65 @@ class FaultSchedule:
             self._add(FaultAction(at + duration, FaultKind.RESTORE_DISK,
                                   target=node))
         return self
+
+    def flaky_nic(self, node: str, at: float, loss: float = 0.05,
+                  jitter_s: float = 0.0,
+                  duration: Optional[float] = None) -> "FaultSchedule":
+        """Gray failure: drop a fraction of ``node``'s packets / add jitter."""
+        self._add(FaultAction(at, FaultKind.FLAKY_NIC, target=node,
+                              loss=loss, jitter_s=jitter_s))
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be > 0")
+            self._add(FaultAction(at + duration, FaultKind.RESTORE_NIC,
+                                  target=node))
+        return self
+
+    def zombie(self, node: str, at: float, slowdown: float = 20.0,
+               duration: Optional[float] = None) -> "FaultSchedule":
+        """Gray failure: ``node`` stays up but runs ``slowdown``x slower."""
+        self._add(FaultAction(at, FaultKind.ZOMBIE, target=node,
+                              factor=slowdown))
+        if duration is not None:
+            if duration <= 0:
+                raise ValueError("duration must be > 0")
+            self._add(FaultAction(at + duration, FaultKind.UNZOMBIE,
+                                  target=node))
+        return self
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, nodes: Sequence[str]) -> None:
+        """Reject a schedule that cannot execute against ``nodes``.
+
+        Catches, at build time rather than mid-run: node-scoped actions
+        or PARTITION groups naming unknown nodes, and HEAL actions with
+        no partition in effect.  Called by the chaos controller when it
+        binds the schedule to a concrete cluster.
+        """
+        known = set(nodes)
+        partitioned = False
+        for action in self.actions():
+            if action.kind in _NODE_SCOPED and action.target not in known:
+                raise ValueError(
+                    f"fault {action.describe()!r} targets unknown node "
+                    f"{action.target!r} (cluster has: "
+                    f"{', '.join(sorted(known))})")
+            if action.kind is FaultKind.PARTITION:
+                unknown = sorted(
+                    {name for group in action.groups for name in group}
+                    - known)
+                if unknown:
+                    raise ValueError(
+                        f"partition at t={action.at:g} names unknown "
+                        f"node(s): {', '.join(unknown)}")
+                partitioned = True
+            elif action.kind is FaultKind.HEAL:
+                if not partitioned:
+                    raise ValueError(
+                        f"heal at t={action.at:g} has no prior partition "
+                        f"to heal")
+                partitioned = False
 
     # -- queries -------------------------------------------------------------
 

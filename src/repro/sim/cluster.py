@@ -124,6 +124,10 @@ class Node:
         self.page_cache = PageCache(spec.cache_bytes)
         #: Liveness flag driven by the fault-injection layer.
         self.up = True
+        #: Gray-failure slowdown: < 1.0 when the node is a *zombie* —
+        #: alive (``up`` stays True, liveness detection sees nothing)
+        #: but pathologically slow.  Scales every CPU grant.
+        self.speed_factor = 1.0
         #: Set when the control plane scales the node in: the node stays
         #: in :attr:`Cluster.servers` (stable indices for in-flight ops)
         #: but no longer accrues node-hours or receives new work.
@@ -165,13 +169,37 @@ class Node:
         self.network.set_host_up(self.name)
         self.page_cache.evict_all()
 
+    def zombie(self, slowdown: float) -> None:
+        """Turn the node into a zombie: alive but ``slowdown``x slower.
+
+        CPU and disk service degrade; :attr:`up` stays True, so
+        crash-liveness detection (driver blacklists, the control
+        plane's replacement logic) cannot see it — the classic gray
+        failure.  :meth:`unzombie` restores full speed.
+        """
+        if slowdown <= 1.0:
+            raise ValueError(f"zombie slowdown must be > 1.0, got {slowdown}")
+        if self.speed_factor < 1.0:
+            self.disk.restore()  # re-degrading replaces the old factor
+        self.speed_factor = 1.0 / slowdown
+        self.disk.degrade(slowdown)
+
+    def unzombie(self) -> None:
+        """Restore a zombie node to full speed."""
+        if self.speed_factor >= 1.0:
+            return
+        self.speed_factor = 1.0
+        self.disk.restore()
+
     def cpu(self, cost_s: float):
         """Process: execute ``cost_s`` seconds of single-core work here.
 
         The cost is expressed for a reference core and scaled by this
-        node's :attr:`NodeSpec.core_speed`.
+        node's :attr:`NodeSpec.core_speed` (and the zombie
+        :attr:`speed_factor`, normally 1.0).
         """
-        yield self.sim.process(self.cpus.use(cost_s / self.spec.core_speed))
+        yield self.sim.process(self.cpus.use(
+            cost_s / (self.spec.core_speed * self.speed_factor)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.name!r}, cores={self.spec.cores})"

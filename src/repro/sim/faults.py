@@ -33,6 +33,7 @@ __all__ = [
     "FaultError",
     "NodeDownError",
     "PartitionedError",
+    "FlakyLinkError",
     "ResourceDrainedError",
     "UnavailableError",
     "OverloadError",
@@ -59,6 +60,15 @@ class NodeDownError(FaultError):
 
 class PartitionedError(FaultError):
     """The target is unreachable across a network partition (timeout)."""
+
+
+class FlakyLinkError(FaultError):
+    """A gray failure: the NIC dropped this packet (lossy link).
+
+    Unlike a partition the link is *mostly* alive — some messages get
+    through, some silently vanish — so liveness detection based on
+    connection refusal never fires.  The sender burns its read timeout
+    exactly as for a partition drop."""
 
 
 class ResourceDrainedError(FaultError):

@@ -17,18 +17,19 @@ The model captures the two effects the paper's results depend on:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.sim.faults import (DeadlineExceededError, NodeDownError,
-                              PartitionedError)
+from repro.sim.faults import (DeadlineExceededError, FlakyLinkError,
+                              NodeDownError, PartitionedError)
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.cluster import Node
 
-__all__ = ["NetworkSpec", "Network", "GIGABIT"]
+__all__ = ["NetworkSpec", "Network", "LinkFault", "GIGABIT"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,30 @@ class NetworkSpec:
 GIGABIT = NetworkSpec()
 
 
+class LinkFault:
+    """Gray-failure state of one node's NIC: packet loss and jitter.
+
+    A lossy link is *not* a partition: most messages flow, a seeded
+    fraction silently vanish, and delivered messages pick up extra
+    latency jitter — the failure mode crash-liveness detection cannot
+    see.  The RNG is seeded from the node name so runs stay
+    byte-deterministic and independent of which other links degrade.
+    """
+
+    __slots__ = ("loss", "jitter_s", "rng", "dropped", "jittered")
+
+    def __init__(self, node_name: str, loss: float, jitter_s: float):
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {loss}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+        self.loss = loss
+        self.jitter_s = jitter_s
+        self.rng = random.Random(f"flaky-nic:{node_name}")
+        self.dropped = 0
+        self.jittered = 0
+
+
 class Network:
     """A single-switch network connecting a set of nodes."""
 
@@ -65,6 +90,8 @@ class Network:
         self._down: set[str] = set()
         #: node name -> partition group id; ``None`` when the net is whole.
         self._partition: dict[str, int] | None = None
+        #: node name -> :class:`LinkFault` for degraded NICs (gray failures).
+        self._link_faults: dict[str, LinkFault] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_failed = 0
@@ -120,6 +147,27 @@ class Network:
     def heal(self) -> None:
         """Remove any network partition."""
         self._partition = None
+
+    def degrade_link(self, node_name: str, loss: float = 0.0,
+                     jitter_s: float = 0.0) -> LinkFault:
+        """Make ``node_name``'s NIC flaky: packet loss and/or jitter.
+
+        Every message crossing the degraded link (either direction) is
+        dropped with probability ``loss`` (the sender burns its read
+        timeout, as for a partition) and delivered messages pick up a
+        uniform ``[0, jitter_s)`` delay.  Deterministic per link.
+        """
+        fault = LinkFault(node_name, loss, jitter_s)
+        self._link_faults[node_name] = fault
+        return fault
+
+    def restore_link(self, node_name: str) -> None:
+        """Clear any gray-failure state on ``node_name``'s NIC."""
+        self._link_faults.pop(node_name, None)
+
+    def link_fault(self, node_name: str) -> LinkFault | None:
+        """The active :class:`LinkFault` on ``node_name``, if any."""
+        return self._link_faults.get(node_name)
 
     def reachable(self, src: str, dst: str) -> bool:
         """Whether the partition (if any) lets ``src`` reach ``dst``."""
@@ -185,6 +233,23 @@ class Network:
             yield sim.timeout(2 * self.spec.latency_s)  # SYN + RST
             raise NodeDownError(
                 f"connection refused: {dst} is down", node=dst)
+        if self._link_faults:
+            # Gray failures: a flaky NIC on either end of the link.  The
+            # branch costs nothing when no link is degraded, so healthy
+            # runs stay byte-identical.
+            fault = (self._link_faults.get(src)
+                     or self._link_faults.get(dst))
+            if fault is not None:
+                if fault.loss and fault.rng.random() < fault.loss:
+                    fault.dropped += 1
+                    self.messages_failed += 1
+                    yield sim.timeout(self.spec.unreachable_timeout_s)
+                    raise FlakyLinkError(
+                        f"packet {src} -> {dst} dropped (flaky NIC)",
+                        node=dst)
+                if fault.jitter_s:
+                    fault.jittered += 1
+                    yield sim.timeout(fault.rng.random() * fault.jitter_s)
         wire = self.spec.wire_time(nbytes)
         yield sim.process(self._egress[src].use(wire))
         timeout = sim._timeout_pooled(self.spec.latency_s)

@@ -19,6 +19,7 @@ under maximum throughput (Section 5.1).
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Mapping, Optional
 
 from repro.sim.cluster import Cluster, Node
@@ -52,7 +53,8 @@ class CassandraStore(Store):
                  commitlog_sync: str = "periodic",
                  compression_ratio: float = 1.0,
                  replication_factor: int = 1,
-                 consistency_level: str = "one"):
+                 consistency_level: str = "one",
+                 read_consistency: str = "one"):
         super().__init__(cluster, schema, profile)
         if commitlog_sync not in ("periodic", "batch"):
             raise ValueError(
@@ -67,12 +69,21 @@ class CassandraStore(Store):
             raise ValueError(
                 "consistency_level must be 'one', 'quorum' or 'all'"
             )
+        if read_consistency not in ("one", "quorum", "all"):
+            raise ValueError(
+                "read_consistency must be 'one', 'quorum' or 'all'"
+            )
         #: Replication factor (the paper ran RF=1 and deferred the
         #: replication study to future work — Section 8).
         self.replication_factor = min(replication_factor,
                                       cluster.n_servers)
         #: How many replica acknowledgements a write waits for.
         self.consistency_level = consistency_level
+        #: How many replicas a read consults.  The paper's setting is
+        #: ONE (first live replica); QUORUM/ALL fan the read out and
+        #: return the newest cell by write timestamp — the R knob of
+        #: the R/W/N quorum sweep.
+        self.read_consistency = read_consistency
         #: "periodic" (the default, writes never wait for the disk) or
         #: "batch" (every write waits for its commit-log fsync) — the
         #: group-commit ablation.
@@ -94,9 +105,18 @@ class CassandraStore(Store):
         #: Hinted handoff queues: mutations for a down replica, held by
         #: the coordinator side and replayed when the node returns
         #: (Cassandra's standard path for writes during an outage).
-        self.hints: dict[int, list[tuple[str, dict]]] = {}
+        self.hints: dict[int, list[tuple[str, dict, int]]] = {}
         self.hints_queued = 0
         self.hints_replayed = 0
+        #: Hints discarded by the test-only replay-breaking flag.
+        self.hints_dropped = 0
+        #: Per-replica cell timestamps (``versions[replica][key]``):
+        #: the write-timestamp plumbing quorum reads merge on and the
+        #: audit layer's staleness oracle reads.  Pure bookkeeping —
+        #: no simulated cost, so RF=1 runs are byte-identical.
+        self.versions: list[dict[str, int]] = [
+            {} for __ in range(cluster.n_servers)]
+        self._write_clock = 0
         #: Replica fan-out counter; set by :meth:`attach_metrics`.
         self._fanout = None
 
@@ -182,13 +202,32 @@ class CassandraStore(Store):
     def session(self, client_node: Node, index: int) -> "CassandraSession":
         return CassandraSession(self, client_node, index)
 
+    @staticmethod
+    def _acks_for(level: str, replication_factor: int) -> int:
+        if level == "one":
+            return 1
+        if level == "quorum":
+            return replication_factor // 2 + 1
+        return replication_factor
+
     def required_acks(self) -> int:
         """Replica acknowledgements a write waits for (consistency level)."""
-        if self.consistency_level == "one":
-            return 1
-        if self.consistency_level == "quorum":
-            return self.replication_factor // 2 + 1
-        return self.replication_factor
+        return self._acks_for(self.consistency_level,
+                              self.replication_factor)
+
+    def required_read_acks(self) -> int:
+        """Replica responses a read waits for (read consistency)."""
+        return self._acks_for(self.read_consistency,
+                              self.replication_factor)
+
+    def next_write_version(self) -> int:
+        """The cell timestamp the coordinator stamps on the next write."""
+        self._write_clock += 1
+        return self._write_clock
+
+    def version_of(self, replica: int, key: str) -> int:
+        """Cell timestamp ``replica`` holds for ``key`` (0 = never seen)."""
+        return self.versions[replica].get(key, 0)
 
     @classmethod
     def retry_policy(cls) -> RetryPolicy:
@@ -216,10 +255,11 @@ class CassandraStore(Store):
             f"all {self.replication_factor} replicas of {key!r} are down"
         )
 
-    def queue_hint(self, replica: int, key: str,
-                   fields: Mapping[str, str]) -> None:
+    def queue_hint(self, replica: int, key: str, fields: Mapping[str, str],
+                   version: int = 0) -> None:
         """Store a hinted mutation for a down replica."""
-        self.hints.setdefault(replica, []).append((key, dict(fields)))
+        self.hints.setdefault(replica, []).append(
+            (key, dict(fields), version))
         self.hints_queued += 1
 
     def on_node_up(self, node: Node) -> None:
@@ -232,9 +272,18 @@ class CassandraStore(Store):
         pending = self.hints.pop(index, [])
         if not pending:
             return
+        if os.environ.get("REPRO_BREAK_HINT_REPLAY"):
+            # Test-only mutation hook: silently discard the hints so
+            # the audit layer's durability checker has a real bug to
+            # catch (tests/audit/test_mutation.py asserts it does).
+            self.hints_dropped += len(pending)
+            return
         flush_bytes = 0
-        for key, fields in pending:
+        versions = self.versions[index]
+        for key, fields, version in pending:
             bill = self.engines[index].put(key, fields)
+            if version > versions.get(key, 0):
+                versions[key] = version
             flush_bytes += (bill.wal_sync_bytes + bill.flush_write_bytes
                             + bill.compaction_io_bytes)
             self.hints_replayed += 1
@@ -244,6 +293,18 @@ class CassandraStore(Store):
                                               * self.compression_ratio)),
                 name="hint-replay",
             )
+
+    def declared_loss(self, node: Node) -> Optional[str]:
+        """By-design data loss when ``node`` never comes back.
+
+        At the paper's RF=1 a crashed node *is* its token range — no
+        other copy exists, so the chaos controller declares the loss in
+        the audit manifest.  With replication the data must survive on
+        the other replicas, so nothing is declared (an unreadable acked
+        write is then a genuine durability violation)."""
+        if self.replication_factor == 1:
+            return "RF=1 token range: the crashed node held the only copy"
+        return None
 
     def warm_caches(self) -> None:
         for i, engine in enumerate(self.engines):
@@ -281,6 +342,7 @@ class CassandraStore(Store):
         self.engines.append(
             LSMEngine(self._lsm_config, seed=index,
                       name=f"cassandra-{index}"))
+        self.versions.append({})
         self._members.append(index)
         self._rebuild_ring()
         moves = self._migrate()
@@ -354,7 +416,7 @@ class CassandraStore(Store):
                 f"({queue} >= {policy.max_queue})")
 
     def _apply_write(self, owner: int, key: str,
-                     fields: Mapping[str, str]):
+                     fields: Mapping[str, str], version: int = 0):
         if self.replication_factor == 1:
             # A write routed before a token move reaches the old owner
             # after its range streamed away; the replica forwards it to
@@ -370,6 +432,8 @@ class CassandraStore(Store):
             write_cpu += self.COMPRESSION_CPU
         yield from node.cpu(self.server_cost(write_cpu))
         bill = self.engines[owner].put(key, fields)
+        if version > self.versions[owner].get(key, 0):
+            self.versions[owner][key] = version
         if bill.wal_sync_bytes:
             if self.commitlog_sync == "batch":
                 # commitlog_sync: batch — the write waits for the fsync.
@@ -402,6 +466,15 @@ class CassandraStore(Store):
         result = self.engines[owner].get(key)
         yield from self.cached_read_io(node, result.bill.blocks)
         return result.fields
+
+    def _apply_versioned_read(self, owner: int, key: str):
+        """Replica-side read returning ``(fields, cell timestamp)``.
+
+        The building block of QUORUM/ALL reads: the coordinator compares
+        the timestamps and returns the newest cell (real Cassandra's
+        digest/data read resolution, collapsed to one round)."""
+        fields = yield from self._apply_read(owner, key)
+        return fields, self.versions[owner].get(key, 0)
 
     def _apply_scan(self, owner: int, start_key: str, count: int):
         self._maybe_shed(owner)
@@ -469,6 +542,12 @@ class CassandraSession(StoreSession):
 
     def read(self, key: str):
         store = self.store
+        if store.replication_factor > 1:
+            if store.required_read_acks() > 1:
+                result = yield from self._replicated_read(key)
+                return result
+            result = yield from self._one_read(key)
+            return result
         # Consistency ONE with failover: any live replica serves the read.
         owner = store.live_replica_of(key)
         result = yield from self._route(
@@ -477,8 +556,122 @@ class CassandraSession(StoreSession):
         )
         return result
 
+    def _one_read(self, key: str):
+        """CL=ONE on a replicated ring: the coordinator serves the read
+        itself when it holds a replica (Cassandra's local read),
+        otherwise it forwards to the first live replica in ring order.
+
+        Which replica answers therefore rotates with the coordinator.
+        After a partition heals, a replica that silently missed writes
+        (no hint was queued — the coordinator never saw it as *down*)
+        keeps serving its old cells until a later write overwrites
+        them: the measurable staleness the quorum sweep pins at
+        ``R=W=1``.
+        """
+        store = self.store
+        sim = store.sim
+        replicas = store.replicas_of(key, store.replication_factor)
+        live = [r for r in replicas if store.node_is_up(r)]
+        if not live:
+            raise UnavailableError(f"no live replica of {key!r} "
+                                   f"(RF={store.replication_factor})")
+        coordinator = self._next_coordinator()
+        serving = coordinator if coordinator in live else live[0]
+        coordinator_node = store.cluster.servers[coordinator]
+        request = store.request_bytes(key)
+        response = store.response_bytes(1)
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(coordinator=coordinator, owner=serving)
+        yield from store.client_cpu(self.client)
+
+        if coordinator == serving:
+            server_work = store._apply_read(serving, key)
+        else:
+            def forwarded():
+                yield from coordinator_node.cpu(store.COORDINATOR_CPU)
+                result = yield from store.cluster.network.rpc(
+                    coordinator_node, store.cluster.servers[serving],
+                    request, response, store._apply_read(serving, key),
+                )
+                return result
+            server_work = forwarded()
+
+        result = yield from store.cluster.network.rpc(
+            self.client, coordinator_node, request, response, server_work,
+        )
+        return result
+
+    def _replicated_read(self, key: str):
+        """R > 1: the coordinator reads R replicas, returns the newest.
+
+        The read set is the first R live replicas in ring order.  All R
+        responses are required (a partitioned replica in the read set
+        fails the read — the availability cost of a quorum read, which
+        the client's retry may or may not route around); the newest
+        cell by write timestamp wins, so any overlap with the write
+        quorum surfaces the latest acked write — the ``R+W>N`` pin the
+        audit sweep verifies.
+        """
+        store = self.store
+        sim = store.sim
+        replicas = store.replicas_of(key, store.replication_factor)
+        needed = store.required_read_acks()
+        request = store.request_bytes(key)
+        response = store.response_bytes(1)
+        coordinator = self._next_coordinator()
+        coordinator_node = store.cluster.servers[coordinator]
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(coordinator=coordinator,
+                                replicas=list(replicas),
+                                read_acks=needed)
+        yield from store.client_cpu(self.client)
+
+        def coordinate_read():
+            yield from coordinator_node.cpu(store.COORDINATOR_CPU)
+            live = [r for r in replicas if store.node_is_up(r)]
+            if len(live) < needed:
+                raise UnavailableError(
+                    f"{len(live)}/{len(replicas)} replicas live, "
+                    f"read consistency {store.read_consistency!r} "
+                    f"needs {needed}"
+                )
+            # The coordinator reads locally when it holds a replica,
+            # then the nearest others in ring order; any R-subset works
+            # for correctness because every read quorum intersects every
+            # write quorum when R+W>N.
+            if coordinator in live:
+                chosen = ([coordinator]
+                          + [r for r in live if r != coordinator])[:needed]
+            else:
+                chosen = live[:needed]
+            acks = []
+            for replica in chosen:
+                if replica == coordinator:
+                    acks.append(sim.process(
+                        store._apply_versioned_read(replica, key)))
+                else:
+                    acks.append(sim.process(store.cluster.network.rpc(
+                        coordinator_node, store.cluster.servers[replica],
+                        request, response,
+                        store._apply_versioned_read(replica, key),
+                    )))
+            yield sim.k_of(acks, needed)  # every chosen replica answers
+            best_fields, best_version = None, -1
+            for ack in acks:
+                fields, version = ack.value
+                if version > best_version:
+                    best_fields, best_version = fields, version
+            return best_fields
+
+        result = yield from store.cluster.network.rpc(
+            self.client, coordinator_node, request, response,
+            coordinate_read(),
+        )
+        return result
+
     def insert(self, key: str, fields: Mapping[str, str]):
         store = self.store
+        version = store.next_write_version()
         if store.replication_factor == 1:
             owner = store.owner_of(key)
             if not store.node_is_up(owner):
@@ -486,15 +679,16 @@ class CassandraSession(StoreSession):
                     f"single replica of {key!r} is down (RF=1)"
                 )
             result = yield from self._route(
-                owner, store._apply_write(owner, key, fields),
+                owner, store._apply_write(owner, key, fields, version),
                 store.request_bytes(key, fields, with_payload=True),
                 store.response_bytes(0),
             )
             return result
-        result = yield from self._replicated_insert(key, fields)
+        result = yield from self._replicated_insert(key, fields, version)
         return result
 
-    def _replicated_insert(self, key: str, fields: Mapping[str, str]):
+    def _replicated_insert(self, key: str, fields: Mapping[str, str],
+                           version: int = 0):
         """RF > 1: the coordinator fans the mutation out to every live
         replica and acknowledges once the consistency level is met —
         the replication extension of the paper's future work.  Down
@@ -526,19 +720,19 @@ class CassandraSession(StoreSession):
                 )
             for replica in replicas:
                 if replica not in live:
-                    store.queue_hint(replica, key, fields)
+                    store.queue_hint(replica, key, fields, version)
             if store._fanout is not None:
                 store._fanout.inc(len(live))
             acks = []
             for replica in live:
                 if replica == coordinator:
                     acks.append(sim.process(
-                        store._apply_write(replica, key, fields)))
+                        store._apply_write(replica, key, fields, version)))
                 else:
                     acks.append(sim.process(store.cluster.network.rpc(
                         coordinator_node, store.cluster.servers[replica],
                         request, response,
-                        store._apply_write(replica, key, fields),
+                        store._apply_write(replica, key, fields, version),
                     )))
             if sim.tracer is not None and sim.context is not None:
                 span = sim.tracer.start_span(

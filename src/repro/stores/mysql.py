@@ -122,6 +122,12 @@ class MySQLStore(Store):
         """Shard index for ``key`` via the JDBC consistent-hash ring."""
         return self._index_of[self.ring.shard_for(key)]
 
+    def declared_loss(self, node: Node) -> str:
+        """Client-sharded, no replication (Section 4.5): losing a shard
+        server for good loses that shard's rows by design."""
+        return ("hard shard loss: client-sharded MySQL keeps a single "
+                "copy per shard")
+
     def configure_overload(self, policy) -> None:
         """Admission control is the JDBC connection pool, per shard.
 

@@ -130,6 +130,12 @@ class RedisStore(Store):
         """Shard index for ``key`` via the Jedis ring."""
         return self._index_of[self.ring.shard_for(key)]
 
+    def declared_loss(self, node: Node) -> str:
+        """Client-sharded, unreplicated (Section 4.6): a permanently
+        crashed instance takes its whole shard with it — a by-design
+        loss the chaos controller records in the audit manifest."""
+        return "hard shard loss: client-sharded Redis keeps a single copy"
+
     def overload_channels(self):
         """Admission control bounds each instance's event-loop queue.
 
@@ -257,7 +263,8 @@ class RedisStore(Store):
                 raise DeadlineExceededError(
                     f"{loop.name}: deadline passed while queued")
             try:
-                yield sim.timeout(cpu_seconds / node.spec.core_speed)
+                yield sim.timeout(cpu_seconds / (node.spec.core_speed
+                                                 * node.speed_factor))
                 return action() if action is not None else None
             finally:
                 loop.release(request)

@@ -24,11 +24,12 @@ so ``supports_scans`` is ``False`` and scan workloads skip this store.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
 from repro.hashing import murmur64a
 from repro.overload.admission import AdmissionGate
 from repro.sim.cluster import Cluster, Node
+from repro.sim.faults import UnavailableError
 from repro.storage.btree import BPlusTree
 from repro.storage.encoding import encode_bdb_entry
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
@@ -51,15 +52,41 @@ class VoldemortStore(Store):
 
     def __init__(self, cluster: Cluster, schema: RecordSchema = APM_SCHEMA,
                  profile: ServiceProfile | None = None,
-                 btree_order: int = 8):
+                 btree_order: int = 8,
+                 replication_factor: int = 1,
+                 required_writes: int = 1,
+                 required_reads: int = 1):
         super().__init__(cluster, schema, profile)
         n = cluster.n_servers
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        replication_factor = min(replication_factor, n)
+        if not 1 <= required_writes <= replication_factor:
+            raise ValueError(
+                f"required_writes must be in [1, N={replication_factor}], "
+                f"got {required_writes}")
+        if not 1 <= required_reads <= replication_factor:
+            raise ValueError(
+                f"required_reads must be in [1, N={replication_factor}], "
+                f"got {required_reads}")
+        #: Dynamo-style N/R/W (real Voldemort's store definition knobs;
+        #: the paper ran N=1).  The client fans each operation to the N
+        #: nodes on the key's preference list and waits for W write /
+        #: R read responses.
+        self.replication_factor = replication_factor
+        self.required_writes = required_writes
+        self.required_reads = required_reads
         self._btree_order = btree_order
         # The partition count is fixed at cluster creation (as in real
         # Voldemort); rebalancing moves whole partitions between nodes.
         self.ring = TokenRing(n * self.PARTITIONS_PER_NODE)
         self.trees = [BPlusTree(order=btree_order) for __ in range(n)]
         self.log_bytes = [0 for __ in range(n)]
+        #: Per-node entry versions (vector-clock stand-in): a global
+        #: write clock stamped at the client, merged by max on read.
+        #: Pure bookkeeping — no simulated cost.
+        self.versions: list[dict[str, int]] = [{} for __ in range(n)]
+        self._write_clock = 0
         self._entry_bytes = len(encode_bdb_entry(self._sample_record()))
         self._members = list(range(n))
         self._rebuild_owner_map()
@@ -130,6 +157,48 @@ class VoldemortStore(Store):
         """Node index owning ``key`` (partition -> node, round-robin)."""
         return self._owner_map[self.ring.owner_of(key)]
 
+    def replica_nodes_of(self, key: str) -> list[int]:
+        """The key's preference list: N distinct nodes in partition order.
+
+        Voldemort walks the partition ring from the key's primary
+        partition, collecting owners until it has ``replication_factor``
+        distinct nodes (skipping partitions co-located on a node already
+        in the list).
+        """
+        primary = self.ring.owner_of(key)
+        n_partitions = len(self.ring.tokens)
+        nodes: list[int] = []
+        for step in range(n_partitions):
+            owner = self._owner_map[(primary + step) % n_partitions]
+            if owner not in nodes:
+                nodes.append(owner)
+                if len(nodes) == self.replication_factor:
+                    break
+        return nodes
+
+    def node_is_up(self, index: int) -> bool:
+        """Liveness of server ``index`` as the client's failure detector
+        sees it (a partitioned node still *looks* up — the client only
+        learns the truth when its request times out)."""
+        return self.cluster.servers[index].up
+
+    def next_write_version(self) -> int:
+        """The next client-stamped write version (bookkeeping only)."""
+        self._write_clock += 1
+        return self._write_clock
+
+    def version_of(self, node: int, key: str) -> int:
+        return self.versions[node].get(key, 0)
+
+    def declared_loss(self, node: Node) -> Optional[str]:
+        """At N=1 a permanently crashed node takes its partitions' only
+        copy with it — a by-design loss the chaos controller records in
+        the declared-loss manifest.  With N>1 surviving replicas hold
+        the data, so an unreadable acked write is a real violation."""
+        if self.replication_factor == 1:
+            return "N=1 partition map: the crashed node held the only copy"
+        return None
+
     # -- topology -------------------------------------------------------------
 
     def members(self) -> list[int]:
@@ -142,11 +211,13 @@ class VoldemortStore(Store):
         partitions online); ownership re-round-robins over the members
         and affected partitions stream their BDB entries across.
         """
+        self._require_n1("grow")
         index = self.cluster.servers.index(node)
         if index != len(self.trees):  # pragma: no cover - defensive
             raise ValueError("servers must be admitted in cluster order")
         self.trees.append(BPlusTree(order=self._btree_order))
         self.log_bytes.append(0)
+        self.versions.append({})
         if self.overload is not None and self.overload.max_queue:
             self._gates.append(
                 AdmissionGate(self.overload.max_queue,
@@ -159,6 +230,7 @@ class VoldemortStore(Store):
 
     def shrink(self, index: int) -> list[tuple[int, int, int]]:
         """Drain a node: its partitions move back onto the survivors."""
+        self._require_n1("shrink")
         if index not in self._members:
             raise ValueError(f"server {index} is not a member")
         if len(self._members) == 1:
@@ -169,7 +241,17 @@ class VoldemortStore(Store):
 
     def rebalance_moves(self) -> list[tuple[int, int, int]]:
         """Catch-up pass: stream any entry that landed off its owner."""
+        if self.replication_factor > 1:
+            # Entries deliberately live on several nodes; re-homing to
+            # the single partition owner would strip the replicas.
+            return []
         return self._migrate()
+
+    def _require_n1(self, operation: str) -> None:
+        if self.replication_factor > 1:
+            raise ValueError(
+                f"online {operation} is modelled for N=1 only; the "
+                f"replicated store keeps a fixed preference list")
 
     def _migrate(self) -> list[tuple[int, int, int]]:
         """Re-home every entry to its partition owner; returns the bill."""
@@ -192,9 +274,9 @@ class VoldemortStore(Store):
 
     def load(self, records: Iterable[Record]) -> None:
         for record in records:
-            owner = self.owner_of(record.key)
-            self.trees[owner].put(record.key, dict(record.fields))
-            self.log_bytes[owner] += self._entry_bytes
+            for owner in self.replica_nodes_of(record.key):
+                self.trees[owner].put(record.key, dict(record.fields))
+                self.log_bytes[owner] += self._entry_bytes
 
     def session(self, client_node: Node, index: int) -> "VoldemortSession":
         return VoldemortSession(self, client_node, index)
@@ -225,12 +307,21 @@ class VoldemortStore(Store):
         yield from self.cached_read_io(node, [leaf])
         return dict(value) if value is not None else None
 
-    def _apply_write(self, owner: int, key: str, fields: Mapping[str, str]):
+    def _apply_versioned_read(self, owner: int, key: str):
+        """A read that also returns the replica's version for ``key``."""
+        fields = yield from self._apply_read(owner, key)
+        return fields, self.versions[owner].get(key, 0)
+
+    def _apply_write(self, owner: int, key: str, fields: Mapping[str, str],
+                     version: int = 0):
         # A write routed under the old partition map lands after the
         # rebalancer moved its partition; the server proxies it to the
         # current owner (Voldemort's rebalancing redirect) so the
-        # acknowledgement never strands data on the old node.
-        owner = self.owner_of(key)
+        # acknowledgement never strands data on the old node.  With N>1
+        # the caller pins a preference-list replica instead (there is no
+        # online rebalancing to redirect around).
+        if self.replication_factor == 1:
+            owner = self.owner_of(key)
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.write_cpu)
@@ -246,6 +337,8 @@ class VoldemortStore(Store):
             self.sim.detached(self.cached_read_io(node, [leaf]),
                               name="je-leaf-fault")
         self.log_bytes[owner] += self._entry_bytes
+        if version > self.versions[owner].get(key, 0):
+            self.versions[owner][key] = version
         # JE appends the log entry with WRITE_NO_SYNC: buffered, drained
         # by the log flusher without stalling the commit.
         yield from node.disk.write(self._entry_bytes, sequential=True,
@@ -257,10 +350,12 @@ class VoldemortStore(Store):
         return True
 
     def _apply_delete(self, owner: int, key: str):
-        owner = self.owner_of(key)  # rebalancing redirect, as for writes
+        if self.replication_factor == 1:
+            owner = self.owner_of(key)  # rebalancing redirect, as for writes
         self.note_node_op(owner)
         node = self.cluster.servers[owner]
         yield from node.cpu(self.profile.write_cpu)
+        self.versions[owner].pop(key, None)
         was_present, path = self.trees[owner].remove(key)
         leaf = self._leaf_block(owner, path.page_ids[-1])
         yield from self.cached_read_io(node, [leaf])
@@ -292,6 +387,9 @@ class VoldemortSession(StoreSession):
 
     def read(self, key: str):
         store = self.store
+        if store.replication_factor > 1:
+            result = yield from self._replicated_read(key)
+            return result
         owner = store.owner_of(key)
         result = yield from self._call(
             owner, store._apply_read(owner, key),
@@ -299,15 +397,96 @@ class VoldemortSession(StoreSession):
         )
         return result
 
+    def _replicated_read(self, key: str):
+        """R replicas of the preference list answer; the newest wins.
+
+        The read set is the first R live nodes in preference order and
+        every one of them must answer — a replica that looks up but is
+        partitioned fails the read, the availability cost of a quorum
+        read.  At R=1 that means the *primary alone* serves, so a
+        replica that missed writes during a partition (Voldemort has no
+        hinted handoff here) keeps returning stale data after the heal —
+        the staleness the audit sweep measures.  R+W>N makes the read
+        set overlap every write quorum, so the max-version merge always
+        surfaces the latest acked write.
+        """
+        store = self.store
+        sim = store.sim
+        replicas = store.replica_nodes_of(key)
+        needed = store.required_reads
+        live = [r for r in replicas if store.node_is_up(r)]
+        if len(live) < needed:
+            raise UnavailableError(
+                f"{len(live)}/{len(replicas)} replicas of {key!r} live, "
+                f"R={needed}")
+        chosen = live[:needed]
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(replicas=chosen, read_acks=needed)
+        request = store.request_bytes(key)
+        response = store.response_bytes(1)
+        # The client library fans out itself (client-side routing), so
+        # the per-node connection gates of the single-owner fast path do
+        # not apply to the parallel requests.
+        yield from store.client_cpu(self.client)
+        acks = [sim.process(store.cluster.network.rpc(
+            self.client, store.cluster.servers[replica],
+            request, response,
+            store._apply_versioned_read(replica, key),
+        )) for replica in chosen]
+        yield sim.k_of(acks, needed)  # every chosen replica must answer
+        best_fields, best_version = None, -1
+        for ack in acks:
+            fields, version = ack.value
+            if version > best_version:
+                best_fields, best_version = fields, version
+        return best_fields
+
     def insert(self, key: str, fields: Mapping[str, str]):
         store = self.store
+        version = store.next_write_version()
+        if store.replication_factor > 1:
+            result = yield from self._replicated_insert(key, fields, version)
+            return result
         owner = store.owner_of(key)
         result = yield from self._call(
-            owner, store._apply_write(owner, key, fields),
+            owner, store._apply_write(owner, key, fields, version),
             store.request_bytes(key, fields, with_payload=True),
             store.response_bytes(0),
         )
         return result
+
+    def _replicated_insert(self, key: str, fields: Mapping[str, str],
+                           version: int):
+        """Dynamo-style write: fan to the preference list, ack at W.
+
+        The client sends the put to every replica it believes is up and
+        returns once W acknowledge (``k_of`` tolerates the rest failing).
+        A partitioned replica still *looks* up, so it receives a request
+        that times out — tolerated at W=1, which is exactly how it
+        silently misses the write: Voldemort's model here has no hinted
+        handoff, so nothing replays it after the heal.
+        """
+        store = self.store
+        sim = store.sim
+        replicas = store.replica_nodes_of(key)
+        needed = store.required_writes
+        live = [r for r in replicas if store.node_is_up(r)]
+        if len(live) < needed:
+            raise UnavailableError(
+                f"{len(live)}/{len(replicas)} replicas of {key!r} live, "
+                f"W={needed}")
+        if sim.tracer is not None and sim.context is not None:
+            sim.tracer.annotate(replicas=live, write_acks=needed)
+        request = store.request_bytes(key, fields, with_payload=True)
+        response = store.response_bytes(0)
+        yield from store.client_cpu(self.client)
+        acks = [sim.process(store.cluster.network.rpc(
+            self.client, store.cluster.servers[replica],
+            request, response,
+            store._apply_write(replica, key, fields, version),
+        )) for replica in live]
+        yield sim.k_of(acks, needed)
+        return True
 
     def scan(self, start_key: str, count: int):
         raise OpError("the Voldemort YCSB client does not support scans")
@@ -315,6 +494,25 @@ class VoldemortSession(StoreSession):
 
     def delete(self, key: str):
         store = self.store
+        if store.replication_factor > 1:
+            sim = store.sim
+            replicas = store.replica_nodes_of(key)
+            needed = store.required_writes
+            live = [r for r in replicas if store.node_is_up(r)]
+            if len(live) < needed:
+                raise UnavailableError(
+                    f"{len(live)}/{len(replicas)} replicas of {key!r} "
+                    f"live, W={needed}")
+            request = store.request_bytes(key)
+            response = store.response_bytes(0)
+            yield from store.client_cpu(self.client)
+            acks = [sim.process(store.cluster.network.rpc(
+                self.client, store.cluster.servers[replica],
+                request, response,
+                store._apply_delete(replica, key),
+            )) for replica in live]
+            yield sim.k_of(acks, needed)
+            return True
         owner = store.owner_of(key)
         result = yield from self._call(
             owner, store._apply_delete(owner, key),

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.sim.cluster import Cluster, Node
-from repro.sim.faults import DeadlineExceededError
+from repro.sim.faults import DeadlineExceededError, NodeDownError
 from repro.sim.resources import Resource
 from repro.storage.record import APM_SCHEMA, Record, RecordSchema
 from repro.storage.skiplist import SkipList
@@ -166,6 +166,12 @@ class VoltDBStore(Store):
         """Host index owning ``partition``."""
         return self._partition_host[partition]
 
+    def declared_loss(self, node: Node) -> str:
+        """K-safety 0, as the paper ran (Section 4.4): each partition
+        lives on exactly one host, so a host that never comes back takes
+        its partitions' only copy with it."""
+        return "k-safety=0: the crashed host held its partitions' only copy"
+
     def overload_channels(self):
         """Admission control bounds each site queue and the sequencer.
 
@@ -263,6 +269,14 @@ class VoltDBStore(Store):
         """
         owner = self.node_of_partition(partition)
         node = self.cluster.servers[owner]
+        if not node.up:
+            # K-safety 0: the partition's only copy lives on this host.
+            # A live entry node can plan the procedure, but the fragment
+            # has nowhere to run while the owner is down.
+            raise NodeDownError(
+                f"partition {partition} unavailable: host {node.name} is down",
+                node=node.name,
+            )
         site = self.sites[partition]
         sim = self.sim
         if sim.deadline_exceeded():
@@ -290,7 +304,8 @@ class VoltDBStore(Store):
                 raise DeadlineExceededError(
                     f"{site.name}: deadline passed while queued")
             try:
-                yield sim.timeout(cpu_seconds / node.spec.core_speed)
+                yield sim.timeout(cpu_seconds / (node.spec.core_speed
+                                                 * node.speed_factor))
                 return action()
             finally:
                 site.release(request)

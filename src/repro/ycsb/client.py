@@ -119,7 +119,7 @@ class ClientThread:
                  schema: RecordSchema, throttle: Throttle | None = None,
                  retry: RetryPolicy | None = None, tracer=None,
                  deadline_s: Optional[float] = None, budget=None,
-                 breaker=None, obs=None):
+                 breaker=None, obs=None, audit=None):
         self.session = session
         self.workload = workload
         self.chooser = chooser
@@ -139,6 +139,8 @@ class ClientThread:
         self.breaker = breaker
         #: Shared :class:`~repro.obs.layer.ObsLayer`, or ``None``.
         self.obs = obs
+        #: Shared :class:`~repro.audit.history.HistoryRecorder`, or ``None``.
+        self.audit = audit
         self._op_table = workload.op_table()
 
     def _draw_op(self) -> OpType:
@@ -209,4 +211,12 @@ class ClientThread:
                     self.stats.note_trace(trace)
                 if self.obs is not None:
                     self.obs.note_op(op.value, latency, error, kind, trace)
+            if self.audit is not None:
+                # Purely observational: no yields, no simulated cost —
+                # an audited run is op-for-op identical to a bare one.
+                self.audit.note_client_op(
+                    session=self.session.index, op=op.value, key=key,
+                    t_invoke=started, t_ack=sim.now, ok=error is None,
+                    error=kind if error is not None else None,
+                )
             self.control.note_completion(self.stats, sim.now)

@@ -378,7 +378,7 @@ def _build_store(config: BenchmarkConfig, cluster: Cluster,
 
 def run_benchmark(store: str, workload: Workload, n_nodes: int,
                   config: Optional[BenchmarkConfig] = None,
-                  obs=None, **overrides) -> BenchmarkResult:
+                  obs=None, audit=None, **overrides) -> BenchmarkResult:
     """Run one benchmark data point and return its measurements.
 
     ``store`` is a registry name ("cassandra", "hbase", "voldemort",
@@ -390,6 +390,12 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
     sampling, flight recorder).  It is a separate parameter, not a
     config field: observing a run must not change its content key or
     provenance fingerprint.
+
+    ``audit`` optionally attaches a
+    :class:`~repro.audit.history.HistoryRecorder` that logs every
+    client operation's invocation/ack for the audit checkers.  Like
+    ``obs`` it lives outside the config: auditing a run must leave it
+    op-for-op identical to a bare one.
     """
     if config is None:
         config = BenchmarkConfig(store=store, workload=workload,
@@ -495,7 +501,7 @@ def run_benchmark(store: str, workload: Workload, n_nodes: int,
             session, workload, chooser, sequence, stats, control, rng,
             schema, throttle, retry=config.retry, tracer=tracer,
             deadline_s=deadline_s, budget=budget, breaker=breaker,
-            obs=obs_layer,
+            obs=obs_layer, audit=audit,
         ))
     processes = [cluster.sim.process(t.run(), name=f"client-{i}")
                  for i, t in enumerate(threads)]

@@ -1,0 +1,50 @@
+"""The audit layer must be passive.
+
+Attaching a :class:`HistoryRecorder` to the benchmark runner (or to the
+audit harness's own driver) must not change what the run does: same
+config content key, same operation counts, same measurements.
+"""
+
+from repro.audit import HistoryRecorder
+from repro.audit.harness import AuditScenario, run_audit_scenario
+from repro.ycsb.runner import BenchmarkConfig, run_benchmark
+from repro.ycsb.workload import WORKLOADS
+
+
+def small_config(**overrides):
+    return dict(records_per_node=1000, measured_ops=400, warmup_ops=50,
+                seed=42, **overrides)
+
+
+def test_audited_benchmark_matches_bare_run():
+    recorder = HistoryRecorder(sim=None)
+    audited = run_benchmark("redis", WORKLOADS["RW"], 1, audit=recorder,
+                            **small_config())
+    bare = run_benchmark("redis", WORKLOADS["RW"], 1, **small_config())
+    assert audited.stats.operations == bare.stats.operations
+    assert audited.throughput_ops == bare.throughput_ops
+    assert audited.stats.errors == bare.stats.errors
+
+
+def test_audit_does_not_change_config_identity():
+    config = BenchmarkConfig(store="redis", workload=WORKLOADS["RW"],
+                             n_nodes=1, **small_config())
+    recorder = HistoryRecorder(sim=None)
+    audited = run_benchmark("redis", WORKLOADS["RW"], 1, config=config,
+                            audit=recorder)
+    bare_config = BenchmarkConfig(store="redis", workload=WORKLOADS["RW"],
+                                  n_nodes=1, **small_config())
+    assert audited.config.content_key() == bare_config.content_key()
+    # And the recorder really observed the run it rode along with.
+    assert len(recorder) > 0
+    assert all(r.t_ack >= r.t_invoke for r in recorder.in_order())
+
+
+def test_audit_scenario_results_equal_unrecorded_world():
+    """The harness's recorded history carries zero simulated cost: two
+    identical scenarios agree to the last acknowledgement time."""
+    scenario = AuditScenario(store="redis", fault="crash")
+    first = run_audit_scenario(scenario)
+    second = run_audit_scenario(scenario)
+    assert first.to_json() == second.to_json()
+    assert first.history == second.history

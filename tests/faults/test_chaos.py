@@ -190,8 +190,8 @@ def test_slow_disk_stretches_read_service_time():
 
 
 def test_unknown_fault_target_raises():
+    # Rejected when the schedule binds to the cluster, not mid-run.
     cluster = make_cluster(2)
     schedule = FaultSchedule().crash("server-9", at=0.5)
-    proc = ChaosController(cluster, schedule).start()
-    with pytest.raises(KeyError):
-        cluster.sim.run(until=proc)
+    with pytest.raises(ValueError, match="unknown node 'server-9'"):
+        ChaosController(cluster, schedule)

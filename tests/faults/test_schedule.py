@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.faults.schedule import FaultKind, FaultSchedule
+from repro.faults.schedule import FaultAction, FaultKind, FaultSchedule
 
 
 def test_crash_with_restart_produces_two_actions():
@@ -68,6 +68,60 @@ def test_describe_is_human_readable():
     assert described[0] == "crash server-0"
     assert described[1] == "partition [a | b]"
     assert described[2] == "slow disk server-1 x8"
+
+
+def test_validate_rejects_unknown_nodes_at_build_time():
+    nodes = ["server-0", "server-1"]
+    with pytest.raises(ValueError, match="unknown node 'server-9'"):
+        FaultSchedule().crash("server-9", at=1.0).validate(nodes)
+    with pytest.raises(ValueError, match="unknown node"):
+        FaultSchedule().partition(
+            [["server-0"], ["server-1", "ghost"]], at=1.0).validate(nodes)
+
+
+def test_validate_rejects_heal_without_partition():
+    schedule = FaultSchedule()
+    schedule._add(FaultAction(2.0, FaultKind.HEAL))
+    with pytest.raises(ValueError, match="no prior partition"):
+        schedule.validate(["server-0"])
+
+
+def test_validate_accepts_partition_then_heal():
+    schedule = FaultSchedule().partition(
+        [["server-0"], ["server-1"]], at=1.0, heal_after=1.0)
+    schedule.validate(["server-0", "server-1"])
+
+
+def test_gray_failure_validation():
+    with pytest.raises(ValueError, match="loss > 0 or jitter > 0"):
+        FaultSchedule().flaky_nic("n", at=1.0, loss=0.0, jitter_s=0.0)
+    with pytest.raises(ValueError, match=r"in \[0, 1\)"):
+        FaultSchedule().flaky_nic("n", at=1.0, loss=1.5)
+    with pytest.raises(ValueError, match="> 1.0"):
+        FaultSchedule().zombie("n", at=1.0, slowdown=1.0)
+
+
+def test_describe_covers_restores_and_gray_failures():
+    schedule = (FaultSchedule()
+                .slow_disk("d", at=1.0, factor=8.0, duration=1.0)
+                .flaky_nic("f", at=1.0, loss=0.05, jitter_s=0.002,
+                           duration=1.0)
+                .zombie("z", at=1.0, slowdown=25.0, duration=1.0))
+    described = {a.describe() for a in schedule.actions()}
+    assert "slow disk d x8" in described
+    assert "restore disk d" in described
+    assert "flaky nic f loss=5.0% jitter=2ms" in described
+    assert "restore nic f" in described
+    assert "zombie z x25" in described
+    assert "unzombie z" in described
+
+
+def test_outage_windows_ignore_other_kinds():
+    schedule = (FaultSchedule()
+                .zombie("x", at=1.0, slowdown=10.0, duration=2.0)
+                .crash("x", at=5.0, restart_after=1.0))
+    # Zombies are alive: only the crash opens an outage window.
+    assert schedule.outage_windows("x") == [(5.0, 6.0)]
 
 
 def test_random_schedule_is_reproducible():
